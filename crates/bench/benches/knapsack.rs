@@ -1,0 +1,37 @@
+//! Micro-benchmarks of the knapsack oracle (Algorithm 1, step 6) and the
+//! exact DP it is validated against — the oracle must stay cheap because
+//! it runs once per doubling level on every job arrival.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dollymp_core::knapsack::{knapsack_01_dp, unit_profit_knapsack};
+use std::hint::black_box;
+
+fn weights(n: usize) -> Vec<f64> {
+    (0..n).map(|i| 0.1 + (i % 101) as f64 * 0.73).collect()
+}
+
+fn bench_oracle(c: &mut Criterion) {
+    for &n in &[100usize, 1_000, 10_000] {
+        let w = weights(n);
+        let cap = w.iter().sum::<f64>() / 3.0;
+        c.bench_function(&format!("unit_profit_knapsack_{n}"), |b| {
+            b.iter(|| unit_profit_knapsack(black_box(&w), black_box(cap)))
+        });
+    }
+}
+
+fn bench_dp(c: &mut Criterion) {
+    let n = 200;
+    let w: Vec<u64> = (0..n).map(|i| 1 + (i % 37) as u64).collect();
+    let p: Vec<u64> = (0..n).map(|i| 1 + (i % 13) as u64).collect();
+    c.bench_function("knapsack_01_dp_200x2000", |b| {
+        b.iter(|| knapsack_01_dp(black_box(&w), black_box(&p), black_box(2_000)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_oracle, bench_dp
+}
+criterion_main!(benches);

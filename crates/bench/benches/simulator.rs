@@ -1,0 +1,41 @@
+//! End-to-end simulator throughput: how fast the engine drives a full
+//! workload under each scheduler family. Guards against regressions in
+//! the engine's event loop and the schedulers' placement passes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dollymp_bench::run_named;
+use dollymp_cluster::prelude::*;
+use dollymp_workload::{generate_google, GoogleConfig};
+use std::hint::black_box;
+
+fn bench_simulation(c: &mut Criterion) {
+    let cluster = ClusterSpec::google_like(200, 3);
+    let jobs = generate_google(&GoogleConfig {
+        njobs: 200,
+        mean_gap_slots: 2.0,
+        seed: 3,
+        ..Default::default()
+    });
+    let sampler = DurationSampler::new(3, StragglerModel::google_traces());
+
+    for name in ["fifo", "tetris", "drf", "dollymp2"] {
+        c.bench_function(&format!("simulate_200jobs_200servers_{name}"), |b| {
+            b.iter(|| {
+                black_box(run_named(
+                    name,
+                    &cluster,
+                    &jobs,
+                    &sampler,
+                    &EngineConfig::default(),
+                ))
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_simulation
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Run every figure/analysis binary in sequence (same process), printing
+//! a divider between them. Convenience wrapper so one command regenerates
+//! the paper's entire evaluation:
+//!
+//! ```sh
+//! cargo run --release -p dollymp-bench --bin all_figures
+//! DOLLYMP_SCALE=1 cargo run --release -p dollymp-bench --bin all_figures  # paper scale
+//! ```
+
+use std::process::Command;
+
+const BINS: &[&str] = &[
+    "fig01_cloning_motivation",
+    "fig02_motivating_example",
+    "fig04_light_load",
+    "fig05_heavy_running",
+    "fig06_heavy_flowtime",
+    "fig07_cumulative_flowtime",
+    "fig08_trace_ratios",
+    "fig09_clone_count",
+    "fig10_load_sweep",
+    "fig11_vs_carbyne",
+    "analysis_cloning_regimes",
+    "ablation_params",
+    "analysis_competitive",
+    "analysis_theorem2",
+];
+
+fn main() {
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    let mut failures = Vec::new();
+    for bin in BINS {
+        println!("\n{:=^78}", format!(" {bin} "));
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            failures.push(*bin);
+        }
+    }
+    println!("\n{:=^78}", " summary ");
+    if failures.is_empty() {
+        println!(
+            "all {} experiment binaries completed; CSVs in target/experiments/",
+            BINS.len()
+        );
+    } else {
+        println!("FAILED: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,44 @@
+//! One-shot §6.3.3 overhead probe: times a single Algorithm 1 refresh
+//! plus one full Algorithm 2 placement pass for 1 000 jobs over 30 000
+//! servers, without the Criterion harness (see `benches/sched_overhead`
+//! for statistically rigorous numbers).
+
+use dollymp_cluster::prelude::*;
+use dollymp_cluster::view::ClusterView;
+use dollymp_core::prelude::*;
+use std::collections::BTreeMap;
+
+fn main() {
+    let cluster = ClusterSpec::google_like(30_000, 1);
+    let free: Vec<Resources> = cluster.servers().iter().map(|s| s.capacity).collect();
+    let mut jobs: BTreeMap<JobId, dollymp_cluster::state::JobState> = BTreeMap::new();
+    for i in 0..1000u64 {
+        let spec = JobSpec::single_phase(
+            JobId(i),
+            4,
+            Resources::new(1.0 + (i % 3) as f64, 2.0),
+            10.0 + (i % 7) as f64,
+            4.0,
+        );
+        jobs.insert(
+            JobId(i),
+            dollymp_cluster::state::JobState::new(spec, vec![vec![10.0; 4]]),
+        );
+    }
+    println!("§6.3.3 probe — 1 000 jobs × 30 000 servers (paper: < 50 ms)\n");
+    for clones in [0u32, 2] {
+        let mut s = dollymp_schedulers::DollyMP::with_clones(clones);
+        let view = ClusterView::new(0, &cluster, &free, &jobs);
+        let t0 = std::time::Instant::now();
+        s.on_job_arrival(&view, JobId(0));
+        let t_arr = t0.elapsed();
+        let t1 = std::time::Instant::now();
+        let batch = s.schedule(&view);
+        let t_sched = t1.elapsed();
+        println!(
+            "dollymp{clones}: Algorithm 1 refresh {t_arr:?}, full placement pass {t_sched:?} \
+             ({} assignments)",
+            batch.len()
+        );
+    }
+}

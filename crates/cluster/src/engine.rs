@@ -1,0 +1,1012 @@
+//! The time-slotted simulation engine (§3's model, §6.3's simulator).
+//!
+//! The engine advances an integer slot clock, but *event-accelerated*: all
+//! arrivals and durations are integer slots, so every state change lands
+//! on a slot boundary and the engine jumps directly to the next one with
+//! work to do. At each decision point it
+//!
+//! 1. retires every copy finishing at that slot (the first copy of a task
+//!    to finish wins; all sibling copies are killed and their resources
+//!    freed, per the kill-on-first-finish rule of §5.2),
+//! 2. unlocks phases whose parents completed (Eq. 7),
+//! 3. admits arriving jobs (notifying the scheduler),
+//! 4. invokes [`Scheduler::schedule`] once and applies the returned batch.
+//!
+//! Assignment validation is strict: an over-committing or ill-typed
+//! assignment panics, because a buggy scheduler must fail loudly rather
+//! than silently skew an experiment.
+
+use crate::execution::DurationSampler;
+use crate::metrics::{CopyOutcome, CopySpan, JobMetrics, SimReport};
+use crate::scheduler::{Assignment, Scheduler};
+use crate::spec::ClusterSpec;
+use crate::state::{CopyKind, CopyState, JobState, TaskStatus};
+use crate::view::ClusterView;
+use dollymp_core::job::{JobId, JobSpec, PhaseId, TaskRef};
+use dollymp_core::resources::Resources;
+use dollymp_core::time::Time;
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+
+/// Engine tunables.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Hard mechanism cap on concurrent copies per task (original +
+    /// clones). The engine default (8) is deliberately loose: the
+    /// *policy* budget — the paper's 3-copy limit of §5, or the DollyMP³
+    /// ablation's 4 — belongs to the scheduler; this cap only catches
+    /// runaway cloning bugs.
+    pub max_copies_per_task: u32,
+    /// Safety valve: panic if the clock passes this slot (a scheduler
+    /// livelock would otherwise spin forever).
+    pub max_slots: Time,
+    /// Extra periodic decision points every `tick` slots while jobs are
+    /// active (§6.3: "at the beginning of each interval, DollyMP shall
+    /// check the amount of available resources"). `None` (the default)
+    /// schedules only on arrivals/completions — sufficient for policies
+    /// without progress monitoring and much faster; speculative execution
+    /// needs a tick to observe stragglers mid-flight.
+    pub tick: Option<Time>,
+    /// Remote-read penalty for data locality: a copy of a *root-phase*
+    /// task (one that reads its input block from the distributed file
+    /// system) placed on neither of the block's two replica servers (see
+    /// [`crate::execution::block_replicas`]) has its duration multiplied
+    /// by this factor. `1.0` (the default) disables locality modelling;
+    /// the paper's YARN layer places clones on replicas to avoid exactly
+    /// this cost.
+    pub remote_penalty: f64,
+    /// Record cluster utilization `(slot, cpu fraction, memory fraction)`
+    /// after every decision point into [`SimReport::utilization`].
+    /// Off by default — the series can be large on long runs.
+    pub record_utilization: bool,
+    /// Record every copy's lifetime into [`SimReport::timeline`]
+    /// (exportable as a Chrome trace). Off by default.
+    pub record_timeline: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            max_copies_per_task: 8,
+            max_slots: 500_000_000,
+            tick: None,
+            remote_penalty: 1.0,
+            record_utilization: false,
+            record_timeline: false,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Event {
+    finish: Time,
+    seq: u64,
+    task: TaskRef,
+    copy_idx: u32,
+}
+
+/// Run one simulation to completion and return the report.
+///
+/// Jobs are admitted at their `arrival` slots; the run ends when every job
+/// has completed. Durations come from `sampler` (scheduler-independent —
+/// see [`crate::execution`]) scaled by server speed at placement.
+///
+/// # Panics
+/// * if any phase demand fits no server in the cluster (the job could
+///   never run);
+/// * on invalid assignments (unknown job/task, over-commitment, cloning a
+///   non-running task, exceeding the copy cap);
+/// * if the scheduler stalls (active jobs, no running copies, no future
+///   arrivals, and an empty scheduling batch);
+/// * if the clock exceeds `cfg.max_slots`.
+pub fn simulate(
+    cluster: &ClusterSpec,
+    jobs: Vec<JobSpec>,
+    sampler: &DurationSampler,
+    scheduler: &mut dyn Scheduler,
+    cfg: &EngineConfig,
+) -> SimReport {
+    for j in &jobs {
+        for (pi, p) in j.phases().iter().enumerate() {
+            assert!(
+                cluster
+                    .servers()
+                    .iter()
+                    .any(|s| p.demand.fits_in(s.capacity)),
+                "job {} phase {pi} demand {} fits no server",
+                j.id.0,
+                p.demand
+            );
+        }
+    }
+
+    let totals = cluster.totals();
+    let mut arrivals: Vec<JobSpec> = jobs;
+    // Pop from the back ⇒ ascending (arrival, id).
+    arrivals.sort_by_key(|j| std::cmp::Reverse((j.arrival, j.id)));
+
+    let mut active: BTreeMap<JobId, JobState> = BTreeMap::new();
+    let mut free: Vec<Resources> = cluster.servers().iter().map(|s| s.capacity).collect();
+    let mut events: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut done: Vec<JobMetrics> = Vec::new();
+    let mut decision_points = 0u64;
+    let mut scheduling_ns = 0u64;
+    let mut utilization: Vec<(Time, f64, f64)> = Vec::new();
+    let mut timeline: Vec<CopySpan> = Vec::new();
+    let mut now: Time = 0;
+
+    while !arrivals.is_empty() || !active.is_empty() {
+        // Drop stale events (killed copies) from the heap front.
+        while let Some(Reverse(ev)) = events.peek() {
+            if copy_is_live(&active, ev) {
+                break;
+            }
+            events.pop();
+        }
+        let next_event = events.peek().map(|Reverse(e)| e.finish);
+        let next_arrival = arrivals.last().map(|j| j.arrival);
+        // A periodic tick only matters while copies are in flight (it
+        // exists to let progress monitors observe running stragglers).
+        let next_tick = match (cfg.tick, next_event) {
+            (Some(k), Some(_)) if !active.is_empty() => Some(now + k.max(1)),
+            _ => None,
+        };
+        let t = match [next_event, next_arrival, next_tick]
+            .into_iter()
+            .flatten()
+            .min()
+        {
+            Some(t) => t,
+            None => panic!(
+                "scheduler stalled at slot {now}: {} active job(s), nothing running, \
+                 nothing arriving",
+                active.len()
+            ),
+        };
+        now = now.max(t);
+        assert!(
+            now <= cfg.max_slots,
+            "simulation exceeded {} slots — livelocked scheduler?",
+            cfg.max_slots
+        );
+
+        // 1) Retire copies finishing now (and any stale events en route).
+        let mut finished_jobs: Vec<JobId> = Vec::new();
+        while let Some(Reverse(ev)) = events.peek() {
+            if ev.finish > now {
+                break;
+            }
+            let ev = events.pop().expect("peeked").0;
+            if !copy_is_live(&active, &ev) {
+                continue;
+            }
+            retire_copy(
+                &mut active,
+                &mut free,
+                totals,
+                now,
+                &ev,
+                &mut finished_jobs,
+                cfg.record_timeline.then_some(&mut timeline),
+            );
+        }
+        for id in finished_jobs {
+            let job = active.remove(&id).expect("finished job present");
+            done.push(job_metrics(&job, now));
+            scheduler.on_job_finish(&job);
+        }
+
+        // 2) Admit arrivals.
+        while arrivals.last().is_some_and(|j| j.arrival <= now) {
+            let spec = arrivals.pop().expect("peeked");
+            let id = spec.id;
+            assert!(
+                !active.contains_key(&id),
+                "duplicate job id {} in workload",
+                id.0
+            );
+            let tables: Vec<Vec<f64>> = spec
+                .phases()
+                .iter()
+                .enumerate()
+                .map(|(pi, p)| sampler.phase_table(id, PhaseId(pi as u32), p))
+                .collect();
+            active.insert(id, JobState::new(spec, tables));
+            let view = ClusterView {
+                now,
+                spec: cluster,
+                free: &free,
+                jobs: &active,
+            };
+            scheduler.on_job_arrival(&view, id);
+        }
+
+        // 3) One scheduling pass.
+        if !active.is_empty() {
+            let view = ClusterView {
+                now,
+                spec: cluster,
+                free: &free,
+                jobs: &active,
+            };
+            let t0 = std::time::Instant::now();
+            let batch = scheduler.schedule(&view);
+            scheduling_ns += t0.elapsed().as_nanos() as u64;
+            decision_points += 1;
+
+            let stalled_risk = events.is_empty() && arrivals.is_empty();
+            assert!(
+                !(stalled_risk && batch.is_empty()),
+                "scheduler {} stalled at slot {now}: returned no assignments with \
+                 {} active job(s) and an otherwise idle cluster",
+                scheduler.name(),
+                active.len()
+            );
+            for a in batch {
+                apply_assignment(
+                    cluster,
+                    sampler,
+                    cfg,
+                    now,
+                    &mut active,
+                    &mut free,
+                    &mut events,
+                    &mut seq,
+                    a,
+                );
+            }
+        }
+        if cfg.record_utilization {
+            let used = totals - free.iter().copied().sum::<Resources>();
+            utilization.push((
+                now,
+                if totals.cpu() > 0.0 {
+                    used.cpu() / totals.cpu()
+                } else {
+                    0.0
+                },
+                if totals.mem() > 0.0 {
+                    used.mem() / totals.mem()
+                } else {
+                    0.0
+                },
+            ));
+        }
+    }
+
+    debug_assert!(
+        free.iter()
+            .zip(cluster.servers())
+            .all(|(f, s)| *f == s.capacity),
+        "resource leak: free != capacity after drain"
+    );
+
+    let makespan = done.iter().map(|j| j.finish).max().unwrap_or(0);
+    SimReport {
+        scheduler: scheduler.name(),
+        jobs: done,
+        makespan,
+        decision_points,
+        scheduling_ns,
+        utilization,
+        timeline,
+    }
+}
+
+fn copy_is_live(active: &BTreeMap<JobId, JobState>, ev: &Event) -> bool {
+    active
+        .get(&ev.task.job)
+        .map(|j| {
+            j.task(ev.task.phase, ev.task.task)
+                .copies
+                .iter()
+                .any(|c| c.copy_idx == ev.copy_idx && c.live)
+        })
+        .unwrap_or(false)
+}
+
+/// Retire the copy named by `ev` as the task's winner; kill siblings,
+/// update phase/job bookkeeping, and record fully finished jobs.
+#[allow(clippy::too_many_arguments)]
+fn retire_copy(
+    active: &mut BTreeMap<JobId, JobState>,
+    free: &mut [Resources],
+    totals: Resources,
+    now: Time,
+    ev: &Event,
+    finished_jobs: &mut Vec<JobId>,
+    mut timeline: Option<&mut Vec<CopySpan>>,
+) {
+    let job = active
+        .get_mut(&ev.task.job)
+        .expect("live copy ⇒ job active");
+    let demand = job.spec().phase(ev.task.phase).demand;
+    let demand_norm = demand.normalized_sum(totals);
+    let pi = ev.task.phase.0 as usize;
+    let ti = ev.task.task.0 as usize;
+
+    let task = &mut job.tasks[pi][ti];
+    debug_assert_eq!(task.status, TaskStatus::Running);
+    let mut winner_start = now;
+    // End every live copy: the winner completes, the rest are killed.
+    for c in task.copies.iter_mut().filter(|c| c.live) {
+        c.live = false;
+        free[c.server.0 as usize] += demand;
+        job.usage_norm += demand_norm * now.saturating_sub(c.start) as f64;
+        if c.copy_idx == ev.copy_idx {
+            winner_start = c.start;
+        }
+        if let Some(tl) = timeline.as_deref_mut() {
+            tl.push(CopySpan {
+                task: ev.task,
+                copy_idx: c.copy_idx,
+                server: c.server,
+                kind: c.kind,
+                start: c.start,
+                end: now,
+                outcome: if c.copy_idx == ev.copy_idx {
+                    CopyOutcome::Won
+                } else {
+                    CopyOutcome::Killed
+                },
+            });
+        }
+    }
+    task.status = TaskStatus::Done;
+    task.finish = Some(now);
+    task.winner = Some(ev.copy_idx);
+    job.phases[pi]
+        .observed
+        .push(now.saturating_sub(winner_start) as f64);
+
+    debug_assert!(job.phases[pi].remaining > 0);
+    job.phases[pi].remaining -= 1;
+    if job.phases[pi].remaining == 0 {
+        // Unlock children whose parents are now all complete (Eq. 7).
+        let children: Vec<PhaseId> = job.spec().children(ev.task.phase).to_vec();
+        for child in children {
+            let ready = job
+                .spec()
+                .phase(child)
+                .parents
+                .iter()
+                .all(|p| job.phases[p.0 as usize].remaining == 0);
+            if ready && !job.phases[child.0 as usize].runnable {
+                job.phases[child.0 as usize].runnable = true;
+                for t in &mut job.tasks[child.0 as usize] {
+                    debug_assert_eq!(t.status, TaskStatus::Blocked);
+                    t.status = TaskStatus::Ready;
+                }
+            }
+        }
+        if job.is_done() {
+            job.finish = Some(now);
+            finished_jobs.push(job.id());
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn apply_assignment(
+    cluster: &ClusterSpec,
+    sampler: &DurationSampler,
+    cfg: &EngineConfig,
+    now: Time,
+    active: &mut BTreeMap<JobId, JobState>,
+    free: &mut [Resources],
+    events: &mut BinaryHeap<Reverse<Event>>,
+    seq: &mut u64,
+    a: Assignment,
+) {
+    let job = active
+        .get_mut(&a.task.job)
+        .unwrap_or_else(|| panic!("assignment for unknown job {}", a.task.job.0));
+    let spec_phase = job.spec().phase(a.task.phase).clone();
+    let pi = a.task.phase.0 as usize;
+    let ti = a.task.task.0 as usize;
+    assert!(
+        pi < job.spec().num_phases() && ti < spec_phase.ntasks as usize,
+        "assignment for out-of-range task {}",
+        a.task
+    );
+    assert!(
+        job.phases[pi].runnable,
+        "assignment for blocked phase of task {}",
+        a.task
+    );
+
+    let task = &mut job.tasks[pi][ti];
+    match a.kind {
+        CopyKind::Primary => assert!(
+            task.status == TaskStatus::Ready && task.copies.is_empty(),
+            "primary copy for task {} in state {:?}",
+            a.task,
+            task.status
+        ),
+        CopyKind::Clone => {
+            assert!(
+                task.status == TaskStatus::Running,
+                "clone for non-running task {}",
+                a.task
+            );
+            assert!(
+                task.live_copies() < cfg.max_copies_per_task,
+                "task {} exceeds the {}-copy cap",
+                a.task,
+                cfg.max_copies_per_task
+            );
+        }
+    }
+
+    let sid = a.server.0 as usize;
+    assert!(sid < cluster.len(), "assignment to unknown server {sid}");
+    assert!(
+        spec_phase.demand.fits_in(free[sid]),
+        "over-commitment on server {sid}: demand {} > free {} (task {})",
+        spec_phase.demand,
+        free[sid],
+        a.task
+    );
+    free[sid] -= spec_phase.demand;
+
+    let copy_idx = task.launched_copies();
+    let mut base = sampler.copy_duration(
+        a.task.job,
+        a.task.phase,
+        a.task.task,
+        copy_idx,
+        &spec_phase,
+        &job.tables[pi],
+    );
+    // Data locality: root-phase tasks read their input block remotely
+    // when placed off-replica.
+    if cfg.remote_penalty > 1.0 && spec_phase.parents.is_empty() {
+        let replicas = crate::execution::block_replicas(a.task, cluster.len());
+        if !replicas.contains(&a.server) {
+            base *= cfg.remote_penalty;
+        }
+    }
+    let speed = cluster.server(a.server).speed;
+    let dur = ((base / speed).ceil() as Time).max(1);
+    let finish = now + dur;
+
+    task.copies.push(CopyState {
+        copy_idx,
+        server: a.server,
+        start: now,
+        finish,
+        kind: a.kind,
+        live: true,
+    });
+    task.status = TaskStatus::Running;
+    if a.kind == CopyKind::Clone {
+        job.clone_launches += 1;
+    }
+    job.first_start.get_or_insert(now);
+
+    *seq += 1;
+    events.push(Reverse(Event {
+        finish,
+        seq: *seq,
+        task: a.task,
+        copy_idx,
+    }));
+}
+
+fn job_metrics(job: &JobState, now: Time) -> JobMetrics {
+    let finish = job.finish.unwrap_or(now);
+    let first_start = job.first_start.unwrap_or(job.spec().arrival);
+    JobMetrics {
+        id: job.id(),
+        label: job.spec().label.clone(),
+        arrival: job.spec().arrival,
+        first_start,
+        finish,
+        flowtime: finish - job.spec().arrival,
+        running_time: finish - first_start,
+        tasks: job.spec().total_tasks(),
+        clone_copies: job.clone_launches,
+        tasks_cloned: job.tasks_cloned(),
+        usage: job.usage_norm,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::execution::StragglerModel;
+    use crate::scheduler::FifoFirstFit;
+    use crate::spec::{ServerId, ServerSpec};
+    use dollymp_core::job::PhaseSpec;
+
+    fn det_sampler() -> DurationSampler {
+        DurationSampler::new(1, StragglerModel::Deterministic)
+    }
+
+    fn one_server(cpu: f64, mem: f64) -> ClusterSpec {
+        ClusterSpec::new(vec![ServerSpec::new(cpu, mem)])
+    }
+
+    #[test]
+    fn single_task_job_runs_to_completion() {
+        let cluster = one_server(4.0, 8.0);
+        let job = JobSpec::single_phase(JobId(0), 1, Resources::new(2.0, 2.0), 7.0, 0.0);
+        let mut s = FifoFirstFit;
+        let r = simulate(
+            &cluster,
+            vec![job],
+            &det_sampler(),
+            &mut s,
+            &EngineConfig::default(),
+        );
+        assert_eq!(r.jobs.len(), 1);
+        assert_eq!(r.jobs[0].flowtime, 7);
+        assert_eq!(r.jobs[0].running_time, 7);
+        assert_eq!(r.makespan, 7);
+        assert_eq!(r.jobs[0].clone_copies, 0);
+        // usage = (2/4 + 2/8) × 7 = 5.25
+        assert!((r.jobs[0].usage - 5.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_tasks_share_the_server() {
+        let cluster = one_server(4.0, 8.0);
+        // Two tasks of 2 cores each fit simultaneously.
+        let job = JobSpec::single_phase(JobId(0), 2, Resources::new(2.0, 2.0), 5.0, 0.0);
+        let mut s = FifoFirstFit;
+        let r = simulate(
+            &cluster,
+            vec![job],
+            &det_sampler(),
+            &mut s,
+            &EngineConfig::default(),
+        );
+        assert_eq!(r.jobs[0].flowtime, 5, "tasks must run in parallel");
+    }
+
+    #[test]
+    fn serial_when_capacity_binds() {
+        let cluster = one_server(2.0, 8.0);
+        let job = JobSpec::single_phase(JobId(0), 2, Resources::new(2.0, 2.0), 5.0, 0.0);
+        let mut s = FifoFirstFit;
+        let r = simulate(
+            &cluster,
+            vec![job],
+            &det_sampler(),
+            &mut s,
+            &EngineConfig::default(),
+        );
+        assert_eq!(r.jobs[0].flowtime, 10, "tasks must serialize");
+    }
+
+    #[test]
+    fn phase_dependency_is_honored() {
+        let cluster = one_server(8.0, 8.0);
+        let job = JobSpec::chain(
+            JobId(0),
+            vec![
+                PhaseSpec::new(2, Resources::new(1.0, 1.0), 4.0, 0.0),
+                PhaseSpec::new(1, Resources::new(1.0, 1.0), 3.0, 0.0),
+            ],
+        )
+        .unwrap();
+        let mut s = FifoFirstFit;
+        let r = simulate(
+            &cluster,
+            vec![job],
+            &det_sampler(),
+            &mut s,
+            &EngineConfig::default(),
+        );
+        assert_eq!(r.jobs[0].flowtime, 7, "map (4) then reduce (3)");
+    }
+
+    #[test]
+    fn arrivals_are_respected() {
+        let cluster = one_server(1.0, 1.0);
+        let j0 = JobSpec::single_phase(JobId(0), 1, Resources::new(1.0, 1.0), 5.0, 0.0);
+        let mut j1 = JobSpec::single_phase(JobId(1), 1, Resources::new(1.0, 1.0), 5.0, 0.0);
+        j1 = JobSpec::builder(JobId(1))
+            .arrival(100)
+            .phase(j1.phases()[0].clone())
+            .build()
+            .unwrap();
+        let mut s = FifoFirstFit;
+        let r = simulate(
+            &cluster,
+            vec![j0, j1],
+            &det_sampler(),
+            &mut s,
+            &EngineConfig::default(),
+        );
+        let by_id = r.by_id();
+        assert_eq!(by_id[&JobId(0)].finish, 5);
+        assert_eq!(by_id[&JobId(1)].finish, 105);
+        assert_eq!(by_id[&JobId(1)].flowtime, 5, "no queueing after idle gap");
+    }
+
+    #[test]
+    fn server_speed_scales_duration() {
+        let cluster = ClusterSpec::new(vec![ServerSpec::new(1.0, 1.0).with_speed(2.0)]);
+        let job = JobSpec::single_phase(JobId(0), 1, Resources::new(1.0, 1.0), 10.0, 0.0);
+        let mut s = FifoFirstFit;
+        let r = simulate(
+            &cluster,
+            vec![job],
+            &det_sampler(),
+            &mut s,
+            &EngineConfig::default(),
+        );
+        assert_eq!(r.jobs[0].flowtime, 5, "2× speed halves the duration");
+    }
+
+    /// A test policy: primary on server 0, then one clone on server 1.
+    struct PrimaryPlusClone;
+    impl Scheduler for PrimaryPlusClone {
+        fn name(&self) -> String {
+            "primary-plus-clone".into()
+        }
+        fn schedule(&mut self, view: &ClusterView<'_>) -> Vec<Assignment> {
+            let mut out = Vec::new();
+            for job in view.jobs() {
+                for task in job.ready_tasks() {
+                    out.push(Assignment {
+                        task,
+                        server: ServerId(0),
+                        kind: CopyKind::Primary,
+                    });
+                }
+                for task in job.running_tasks() {
+                    let t = job.task(task.phase, task.task);
+                    if t.live_copies() == 1 && t.launched_copies() == 1 {
+                        out.push(Assignment {
+                            task,
+                            server: ServerId(1),
+                            kind: CopyKind::Clone,
+                        });
+                    }
+                }
+            }
+            out
+        }
+    }
+
+    #[test]
+    fn clone_on_faster_server_wins_and_kills_primary() {
+        // Server 0 is slow (0.5×), server 1 fast (2×). θ = 10 ⇒ primary
+        // takes 20 slots, clone takes 5. Clone launched one decision point
+        // after the primary — same slot 0 here (clone opportunity appears
+        // only at the next decision point, which is the primary's...).
+        let cluster = ClusterSpec::new(vec![
+            ServerSpec::new(1.0, 1.0).with_speed(0.5),
+            ServerSpec::new(1.0, 1.0).with_speed(2.0),
+        ]);
+        let job = JobSpec::single_phase(JobId(0), 1, Resources::new(1.0, 1.0), 10.0, 0.0);
+        let mut s = PrimaryPlusClone;
+        let r = simulate(
+            &cluster,
+            vec![job],
+            &det_sampler(),
+            &mut s,
+            &EngineConfig::default(),
+        );
+        let m = &r.jobs[0];
+        // Primary starts at 0 (would finish at 20). The clone can only be
+        // launched at the next decision point — the primary's finish at 20
+        // — unless the engine reschedules earlier. With a single job there
+        // is no earlier event, so the job completes at 20 with one copy...
+        // unless the clone went out in the same batch, which
+        // PrimaryPlusClone cannot do (the task is not yet Running in its
+        // view). This documents the decision-point contract.
+        assert_eq!(m.flowtime, 20);
+        assert_eq!(m.clone_copies, 0);
+    }
+
+    /// Like PrimaryPlusClone but issues primary and clone in one batch by
+    /// tracking its own pending placements.
+    struct AtomicCloner;
+    impl Scheduler for AtomicCloner {
+        fn name(&self) -> String {
+            "atomic-cloner".into()
+        }
+        fn schedule(&mut self, view: &ClusterView<'_>) -> Vec<Assignment> {
+            let mut out = Vec::new();
+            for job in view.jobs() {
+                for task in job.ready_tasks() {
+                    out.push(Assignment {
+                        task,
+                        server: ServerId(0),
+                        kind: CopyKind::Primary,
+                    });
+                    out.push(Assignment {
+                        task,
+                        server: ServerId(1),
+                        kind: CopyKind::Clone,
+                    });
+                }
+            }
+            out
+        }
+    }
+
+    #[test]
+    fn same_batch_clone_races_the_primary() {
+        let cluster = ClusterSpec::new(vec![
+            ServerSpec::new(1.0, 1.0).with_speed(0.5),
+            ServerSpec::new(1.0, 1.0).with_speed(2.0),
+        ]);
+        let job = JobSpec::single_phase(JobId(0), 1, Resources::new(1.0, 1.0), 10.0, 0.0);
+        let mut s = AtomicCloner;
+        let r = simulate(
+            &cluster,
+            vec![job],
+            &det_sampler(),
+            &mut s,
+            &EngineConfig::default(),
+        );
+        let m = &r.jobs[0];
+        assert_eq!(m.flowtime, 5, "fast clone wins");
+        assert_eq!(m.clone_copies, 1);
+        assert_eq!(m.tasks_cloned, 1);
+        // Usage: both copies occupy 1 core+1 GB for 5 slots; totals are
+        // (2, 2) so each copy's normalized rate is 1.0 ⇒ usage = 10.
+        assert!((m.usage - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "over-commitment")]
+    fn overcommitting_scheduler_panics() {
+        struct Greedy;
+        impl Scheduler for Greedy {
+            fn name(&self) -> String {
+                "greedy".into()
+            }
+            fn schedule(&mut self, view: &ClusterView<'_>) -> Vec<Assignment> {
+                // Assign both tasks to server 0 ignoring capacity.
+                view.jobs()
+                    .flat_map(|j| j.ready_tasks())
+                    .map(|task| Assignment {
+                        task,
+                        server: ServerId(0),
+                        kind: CopyKind::Primary,
+                    })
+                    .collect()
+            }
+        }
+        let cluster = one_server(1.0, 1.0);
+        let job = JobSpec::single_phase(JobId(0), 2, Resources::new(1.0, 1.0), 5.0, 0.0);
+        let _ = simulate(
+            &cluster,
+            vec![job],
+            &det_sampler(),
+            &mut Greedy,
+            &EngineConfig::default(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "stalled")]
+    fn lazy_scheduler_panics() {
+        struct Lazy;
+        impl Scheduler for Lazy {
+            fn name(&self) -> String {
+                "lazy".into()
+            }
+            fn schedule(&mut self, _view: &ClusterView<'_>) -> Vec<Assignment> {
+                Vec::new()
+            }
+        }
+        let cluster = one_server(1.0, 1.0);
+        let job = JobSpec::single_phase(JobId(0), 1, Resources::new(1.0, 1.0), 5.0, 0.0);
+        let _ = simulate(
+            &cluster,
+            vec![job],
+            &det_sampler(),
+            &mut Lazy,
+            &EngineConfig::default(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "fits no server")]
+    fn oversized_job_rejected_up_front() {
+        let cluster = one_server(1.0, 1.0);
+        let job = JobSpec::single_phase(JobId(0), 1, Resources::new(2.0, 1.0), 5.0, 0.0);
+        let _ = simulate(
+            &cluster,
+            vec![job],
+            &det_sampler(),
+            &mut FifoFirstFit,
+            &EngineConfig::default(),
+        );
+    }
+
+    #[test]
+    fn timeline_records_winners_and_kills() {
+        use crate::metrics::{timeline_to_chrome_trace, CopyOutcome};
+        let cluster = ClusterSpec::new(vec![
+            ServerSpec::new(1.0, 1.0).with_speed(0.5),
+            ServerSpec::new(1.0, 1.0).with_speed(2.0),
+        ]);
+        let job = JobSpec::single_phase(JobId(0), 1, Resources::new(1.0, 1.0), 10.0, 0.0);
+        let cfg = EngineConfig {
+            record_timeline: true,
+            ..Default::default()
+        };
+        let mut s = AtomicCloner;
+        let r = simulate(&cluster, vec![job], &det_sampler(), &mut s, &cfg);
+        assert_eq!(r.timeline.len(), 2, "primary + clone both recorded");
+        let winner = r
+            .timeline
+            .iter()
+            .find(|c| c.outcome == CopyOutcome::Won)
+            .expect("a winner exists");
+        let killed = r
+            .timeline
+            .iter()
+            .find(|c| c.outcome == CopyOutcome::Killed)
+            .expect("the loser was killed");
+        assert_eq!(winner.server, ServerId(1), "fast clone wins");
+        assert_eq!(winner.end, 5);
+        assert_eq!(killed.end, 5, "killed at the winner's finish");
+        assert_eq!(killed.start, 0);
+
+        // The Chrome trace export is well-formed JSON with both events.
+        let json = timeline_to_chrome_trace(&r.timeline, 5.0);
+        let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        assert_eq!(parsed.as_array().unwrap().len(), 2);
+        assert!(json.contains("clone/won"));
+        assert!(json.contains("primary/killed"));
+    }
+
+    #[test]
+    fn timeline_off_by_default() {
+        let cluster = one_server(2.0, 2.0);
+        let job = JobSpec::single_phase(JobId(0), 1, Resources::new(1.0, 1.0), 3.0, 0.0);
+        let r = simulate(
+            &cluster,
+            vec![job],
+            &det_sampler(),
+            &mut FifoFirstFit,
+            &EngineConfig::default(),
+        );
+        assert!(r.timeline.is_empty());
+        assert!(r.utilization.is_empty());
+    }
+
+    #[test]
+    fn utilization_series_tracks_busy_cluster() {
+        let cluster = one_server(2.0, 4.0);
+        let job = JobSpec::single_phase(JobId(0), 2, Resources::new(1.0, 2.0), 4.0, 0.0);
+        let cfg = EngineConfig {
+            record_utilization: true,
+            ..Default::default()
+        };
+        let r = simulate(&cluster, vec![job], &det_sampler(), &mut FifoFirstFit, &cfg);
+        // After the first decision point both tasks run: 100 % CPU + mem.
+        assert!(!r.utilization.is_empty());
+        let (_, cpu, mem) = r.utilization[0];
+        assert!((cpu - 1.0).abs() < 1e-9);
+        assert!((mem - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn remote_penalty_inflates_off_replica_root_tasks() {
+        use crate::execution::block_replicas;
+        use dollymp_core::job::TaskRef;
+        let cluster = ClusterSpec::homogeneous(4, 1.0, 1.0);
+        let task = TaskRef {
+            job: JobId(0),
+            phase: PhaseId(0),
+            task: dollymp_core::job::TaskId(0),
+        };
+        let replicas = block_replicas(task, 4);
+        // FifoFirstFit places on server 0; pick a job id whose replicas
+        // exclude server 0 so the penalty must apply. Search a job id
+        // deterministically.
+        let mut off_replica_job = None;
+        for id in 0..64u64 {
+            let t = TaskRef {
+                job: JobId(id),
+                ..task
+            };
+            if !block_replicas(t, 4).contains(&ServerId(0)) {
+                off_replica_job = Some(id);
+                break;
+            }
+        }
+        let id = off_replica_job.expect("some job hashes off server 0");
+        let job = JobSpec::single_phase(JobId(id), 1, Resources::new(1.0, 1.0), 10.0, 0.0);
+        let cfg_local = EngineConfig::default();
+        let cfg_penalty = EngineConfig {
+            remote_penalty: 2.0,
+            ..Default::default()
+        };
+        let r_local = simulate(
+            &cluster,
+            vec![job.clone()],
+            &det_sampler(),
+            &mut FifoFirstFit,
+            &cfg_local,
+        );
+        let r_remote = simulate(
+            &cluster,
+            vec![job],
+            &det_sampler(),
+            &mut FifoFirstFit,
+            &cfg_penalty,
+        );
+        assert_eq!(r_local.jobs[0].flowtime, 10);
+        assert_eq!(r_remote.jobs[0].flowtime, 20, "2× remote-read penalty");
+        // Sanity: replicas are two distinct servers.
+        assert_ne!(replicas[0], replicas[1]);
+    }
+
+    #[test]
+    fn remote_penalty_skips_non_root_phases() {
+        // The reduce phase reads shuffled data, not a DFS block: no
+        // penalty even off-replica.
+        let cluster = ClusterSpec::homogeneous(1, 1.0, 1.0);
+        let job = JobSpec::chain(
+            JobId(3),
+            vec![
+                PhaseSpec::new(1, Resources::new(1.0, 1.0), 4.0, 0.0),
+                PhaseSpec::new(1, Resources::new(1.0, 1.0), 6.0, 0.0),
+            ],
+        )
+        .unwrap();
+        let cfg = EngineConfig {
+            remote_penalty: 3.0,
+            ..Default::default()
+        };
+        let r = simulate(&cluster, vec![job], &det_sampler(), &mut FifoFirstFit, &cfg);
+        // Map may or may not be on-replica (single server IS the replica
+        // set here — with 1 server, both replicas are server 0), so no
+        // penalty anywhere: 4 + 6.
+        assert_eq!(r.jobs[0].flowtime, 10);
+    }
+
+    #[test]
+    fn report_counts_decision_points() {
+        let cluster = one_server(1.0, 1.0);
+        let jobs: Vec<JobSpec> = (0..3)
+            .map(|i| JobSpec::single_phase(JobId(i), 1, Resources::new(1.0, 1.0), 2.0, 0.0))
+            .collect();
+        let mut s = FifoFirstFit;
+        let r = simulate(
+            &cluster,
+            jobs,
+            &det_sampler(),
+            &mut s,
+            &EngineConfig::default(),
+        );
+        assert_eq!(r.jobs.len(), 3);
+        assert!(r.decision_points >= 3);
+        assert_eq!(r.makespan, 6, "three serial 2-slot jobs");
+    }
+
+    #[test]
+    fn diamond_dag_executes_in_dependency_order() {
+        let cluster = one_server(8.0, 8.0);
+        let d = Resources::new(1.0, 1.0);
+        let job = JobSpec::builder(JobId(0))
+            .phase(PhaseSpec::new(1, d, 2.0, 0.0))
+            .phase(PhaseSpec::new(1, d, 3.0, 0.0).with_parents(vec![PhaseId(0)]))
+            .phase(PhaseSpec::new(1, d, 5.0, 0.0).with_parents(vec![PhaseId(0)]))
+            .phase(PhaseSpec::new(1, d, 1.0, 0.0).with_parents(vec![PhaseId(1), PhaseId(2)]))
+            .build()
+            .unwrap();
+        let mut s = FifoFirstFit;
+        let r = simulate(
+            &cluster,
+            vec![job],
+            &det_sampler(),
+            &mut s,
+            &EngineConfig::default(),
+        );
+        // 2 + max(3, 5) + 1 = 8.
+        assert_eq!(r.jobs[0].flowtime, 8);
+    }
+}

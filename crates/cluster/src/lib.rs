@@ -1,0 +1,56 @@
+//! # dollymp-cluster
+//!
+//! A time-slotted simulator of heterogeneous computing clusters with
+//! stochastic stragglers and first-class task **clones** — the substrate
+//! on which the DollyMP paper's experiments run (the 30-node YARN testbed
+//! of §6.1–6.2 and the 30 000-server trace-driven simulator of §6.3 are
+//! both instances of this engine; see DESIGN.md for the substitution
+//! rationale).
+//!
+//! * [`spec`] — static cluster shapes (including the paper's 30-node
+//!   cluster and Google-like fleets);
+//! * [`execution`] — straggler models and *paired* duration sampling
+//!   (identical task durations across schedulers for fair comparisons);
+//! * [`state`] — runtime job/phase/task/copy state;
+//! * [`view`] — the read-only snapshot schedulers decide on;
+//! * [`scheduler`] — the [`scheduler::Scheduler`] trait every policy
+//!   implements, plus a FIFO/first-fit reference policy;
+//! * [`engine`] — the simulation loop ([`engine::simulate`]);
+//! * [`metrics`] — per-job metrics, reports, CDF helpers.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use dollymp_cluster::prelude::*;
+//! use dollymp_core::prelude::*;
+//!
+//! let cluster = ClusterSpec::homogeneous(4, 8.0, 16.0);
+//! let jobs = vec![JobSpec::single_phase(JobId(0), 8, Resources::new(1.0, 2.0), 10.0, 3.0)];
+//! let sampler = DurationSampler::new(42, StragglerModel::ParetoFit);
+//! let mut policy = FifoFirstFit;
+//! let report = simulate(&cluster, jobs, &sampler, &mut policy, &EngineConfig::default());
+//! assert_eq!(report.jobs.len(), 1);
+//! assert!(report.jobs[0].flowtime > 0);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod engine;
+pub mod execution;
+pub mod metrics;
+pub mod scheduler;
+pub mod spec;
+pub mod state;
+pub mod view;
+
+/// Commonly used simulator types.
+pub mod prelude {
+    pub use crate::engine::{simulate, EngineConfig};
+    pub use crate::execution::{DurationSampler, StragglerModel};
+    pub use crate::metrics::{cdf, cdf_at, jain_index, quantile, JobMetrics, SimReport};
+    pub use crate::scheduler::{clone_allowed, Assignment, FifoFirstFit, Scheduler};
+    pub use crate::spec::{ClusterSpec, ServerId, ServerSpec};
+    pub use crate::state::{CopyKind, CopyState, JobState, PhaseState, TaskState, TaskStatus};
+    pub use crate::view::ClusterView;
+}

@@ -1,0 +1,438 @@
+//! Simulation outputs: per-job metrics, report aggregation and the CDF /
+//! percentile helpers the paper's figures are built from.
+
+use crate::spec::ServerId;
+use crate::state::CopyKind;
+use dollymp_core::job::{JobId, TaskRef};
+use dollymp_core::time::Time;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// How a copy's occupancy ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CopyOutcome {
+    /// This copy finished first and its output was used.
+    Won,
+    /// A sibling finished first; this copy was killed.
+    Killed,
+}
+
+/// One copy's lifetime on a server — the unit of the execution timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CopySpan {
+    /// The task this copy belonged to.
+    pub task: TaskRef,
+    /// Copy index (0 = primary).
+    pub copy_idx: u32,
+    /// Where it ran.
+    pub server: ServerId,
+    /// Primary or clone.
+    pub kind: CopyKind,
+    /// Start slot.
+    pub start: Time,
+    /// End slot (completion or kill).
+    pub end: Time,
+    /// Won or killed.
+    pub outcome: CopyOutcome,
+}
+
+/// Render copy spans as a Chrome-tracing (`chrome://tracing`,
+/// [Perfetto](https://ui.perfetto.dev)) JSON document: one duration event
+/// per copy, grouped by server (pid) — open the file to *see* clones
+/// racing their primaries and losing copies being killed.
+pub fn timeline_to_chrome_trace(spans: &[CopySpan], slot_secs: f64) -> String {
+    let mut out = String::from("[");
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let us = |t: Time| (t as f64 * slot_secs * 1e6) as u64;
+        let kind = match s.kind {
+            CopyKind::Primary => "primary",
+            CopyKind::Clone => "clone",
+        };
+        let outcome = match s.outcome {
+            CopyOutcome::Won => "won",
+            CopyOutcome::Killed => "killed",
+        };
+        // name: j<job>p<phase>t<task>#<copy>; pid = server, tid = task hash.
+        let _ = write!(
+            out,
+            "{{\"name\":\"{} {kind}/{outcome}\",\"cat\":\"{kind}\",\"ph\":\"X\",\
+             \"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{}}}",
+            s.task,
+            us(s.start),
+            us(s.end.saturating_sub(s.start)),
+            s.server.0,
+            (s.task.job.0 % 1_000_000) * 100 + s.copy_idx as u64,
+        );
+    }
+    out.push(']');
+    out
+}
+
+/// Final metrics of one completed job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobMetrics {
+    /// Job identity.
+    pub id: JobId,
+    /// Application label (e.g. `"pagerank"`).
+    pub label: String,
+    /// Arrival slot `a_j`.
+    pub arrival: Time,
+    /// First copy launch slot.
+    pub first_start: Time,
+    /// Completion slot `f_j`.
+    pub finish: Time,
+    /// Flowtime `f_j − a_j` (§3.1's objective).
+    pub flowtime: Time,
+    /// Running time `f_j − first_start` — the "actual job execution time"
+    /// of §6.1's metrics.
+    pub running_time: Time,
+    /// Total tasks in the job.
+    pub tasks: u64,
+    /// Clone copies launched for this job.
+    pub clone_copies: u64,
+    /// Tasks that ever held more than one copy.
+    pub tasks_cloned: u64,
+    /// Normalized resource usage: Σ over copies of
+    /// `(cpu/ΣC + mem/ΣM) × occupied_slots` (§6.3.1's usage metric;
+    /// killed clones count for the time they actually held resources).
+    pub usage: f64,
+}
+
+/// Everything a simulation run produces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Scheduler that produced this run.
+    pub scheduler: String,
+    /// Per-job metrics, in completion order.
+    pub jobs: Vec<JobMetrics>,
+    /// Completion slot of the last job (0 when no jobs ran).
+    pub makespan: Time,
+    /// Number of scheduling decision points.
+    pub decision_points: u64,
+    /// Wall-clock spent inside `Scheduler::schedule`, in nanoseconds —
+    /// the §6.3.3 scheduling-overhead metric.
+    pub scheduling_ns: u64,
+    /// Cluster utilization samples `(slot, cpu fraction, mem fraction)`
+    /// taken after every decision point — empty unless
+    /// `EngineConfig::record_utilization` was set.
+    pub utilization: Vec<(Time, f64, f64)>,
+    /// Every copy's lifetime — empty unless
+    /// `EngineConfig::record_timeline` was set. Export with
+    /// [`timeline_to_chrome_trace`].
+    pub timeline: Vec<CopySpan>,
+}
+
+impl SimReport {
+    /// Total flowtime `Σ_j (f_j − a_j)` — the (OPT) objective.
+    pub fn total_flowtime(&self) -> u64 {
+        self.jobs.iter().map(|j| j.flowtime).sum()
+    }
+
+    /// Mean flowtime (0 for empty runs).
+    pub fn mean_flowtime(&self) -> f64 {
+        if self.jobs.is_empty() {
+            0.0
+        } else {
+            self.total_flowtime() as f64 / self.jobs.len() as f64
+        }
+    }
+
+    /// Mean running time (0 for empty runs).
+    pub fn mean_running_time(&self) -> f64 {
+        if self.jobs.is_empty() {
+            0.0
+        } else {
+            self.jobs.iter().map(|j| j.running_time).sum::<u64>() as f64 / self.jobs.len() as f64
+        }
+    }
+
+    /// Total normalized resource usage across jobs.
+    pub fn total_usage(&self) -> f64 {
+        self.jobs.iter().map(|j| j.usage).sum()
+    }
+
+    /// Fraction of tasks that received at least one clone.
+    pub fn cloned_task_fraction(&self) -> f64 {
+        let tasks: u64 = self.jobs.iter().map(|j| j.tasks).sum();
+        if tasks == 0 {
+            0.0
+        } else {
+            self.jobs.iter().map(|j| j.tasks_cloned).sum::<u64>() as f64 / tasks as f64
+        }
+    }
+
+    /// Jobs with a given label.
+    pub fn jobs_labeled<'a>(&'a self, label: &'a str) -> impl Iterator<Item = &'a JobMetrics> {
+        self.jobs.iter().filter(move |j| j.label == label)
+    }
+
+    /// Metrics keyed by job id (for cross-scheduler joins).
+    pub fn by_id(&self) -> std::collections::HashMap<JobId, &JobMetrics> {
+        self.jobs.iter().map(|j| (j.id, j)).collect()
+    }
+
+    /// Per-job slowdowns `flowtime / running_time` — how much queueing
+    /// and dependency waiting stretched each job beyond its execution.
+    pub fn slowdowns(&self) -> Vec<f64> {
+        self.jobs
+            .iter()
+            .map(|j| j.flowtime as f64 / j.running_time.max(1) as f64)
+            .collect()
+    }
+
+    /// Time-weighted mean CPU utilization over the run (0 when the
+    /// utilization series was not recorded or has fewer than 2 samples).
+    pub fn mean_cpu_utilization(&self) -> f64 {
+        time_weighted_mean(&self.utilization, |&(_, c, _)| c)
+    }
+
+    /// Time-weighted mean memory utilization (see
+    /// [`SimReport::mean_cpu_utilization`]).
+    pub fn mean_mem_utilization(&self) -> f64 {
+        time_weighted_mean(&self.utilization, |&(_, _, m)| m)
+    }
+
+    /// Cumulative flowtime ordered by arrival — the Fig. 7 series.
+    pub fn cumulative_flowtime_by_arrival(&self) -> Vec<(Time, u64)> {
+        let mut jobs: Vec<_> = self.jobs.iter().collect();
+        jobs.sort_by_key(|j| (j.arrival, j.id));
+        let mut acc = 0u64;
+        jobs.iter()
+            .map(|j| {
+                acc += j.flowtime;
+                (j.arrival, acc)
+            })
+            .collect()
+    }
+
+    /// Per-job metrics as CSV (header + one row per job, arrival order) —
+    /// the interchange format of the experiment binaries and the CLI.
+    pub fn jobs_to_csv(&self) -> String {
+        let mut out = String::from(
+            "job,label,arrival,first_start,finish,flowtime,running_time,tasks,\
+             clone_copies,tasks_cloned,usage\n",
+        );
+        let mut jobs: Vec<_> = self.jobs.iter().collect();
+        jobs.sort_by_key(|j| (j.arrival, j.id));
+        for j in jobs {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{},{},{:.6}",
+                j.id.0,
+                j.label,
+                j.arrival,
+                j.first_start,
+                j.finish,
+                j.flowtime,
+                j.running_time,
+                j.tasks,
+                j.clone_copies,
+                j.tasks_cloned,
+                j.usage
+            );
+        }
+        out
+    }
+}
+
+fn time_weighted_mean<F: Fn(&(Time, f64, f64)) -> f64>(
+    series: &[(Time, f64, f64)],
+    pick: F,
+) -> f64 {
+    if series.len() < 2 {
+        return 0.0;
+    }
+    let mut weighted = 0.0;
+    let mut span = 0.0;
+    for w in series.windows(2) {
+        let dt = w[1].0.saturating_sub(w[0].0) as f64;
+        weighted += pick(&w[0]) * dt;
+        span += dt;
+    }
+    if span > 0.0 {
+        weighted / span
+    } else {
+        0.0
+    }
+}
+
+/// Jain's fairness index over non-negative samples:
+/// `(Σx)² / (n · Σx²)` — 1.0 means perfectly equal, `1/n` means one
+/// sample holds everything. Returns 1.0 for empty/degenerate input.
+pub fn jain_index(values: &[f64]) -> f64 {
+    let v: Vec<f64> = values
+        .iter()
+        .copied()
+        .filter(|x| x.is_finite() && *x >= 0.0)
+        .collect();
+    if v.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = v.iter().sum();
+    let sumsq: f64 = v.iter().map(|x| x * x).sum();
+    if sumsq <= 0.0 {
+        return 1.0;
+    }
+    sum * sum / (v.len() as f64 * sumsq)
+}
+
+/// An empirical CDF over `f64` samples: sorted `(value, fraction ≤ value)`
+/// pairs. The building block of Figs. 4–6, 8, 9, 11.
+pub fn cdf(mut values: Vec<f64>) -> Vec<(f64, f64)> {
+    values.retain(|v| v.is_finite());
+    values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let n = values.len();
+    values
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (v, (i + 1) as f64 / n as f64))
+        .collect()
+}
+
+/// Fraction of samples `≤ x` in a CDF built by [`cdf`].
+pub fn cdf_at(curve: &[(f64, f64)], x: f64) -> f64 {
+    match curve.iter().rev().find(|&&(v, _)| v <= x) {
+        Some(&(_, p)) => p,
+        None => 0.0,
+    }
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) of a sample set (nearest-rank).
+/// Returns 0 for empty input.
+pub fn quantile(values: &[f64], q: f64) -> f64 {
+    let mut v: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let idx = ((q.clamp(0.0, 1.0) * v.len() as f64).ceil() as usize).clamp(1, v.len()) - 1;
+    v[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn jm(id: u64, arrival: Time, finish: Time, first_start: Time) -> JobMetrics {
+        JobMetrics {
+            id: JobId(id),
+            label: "t".into(),
+            arrival,
+            first_start,
+            finish,
+            flowtime: finish - arrival,
+            running_time: finish - first_start,
+            tasks: 2,
+            clone_copies: 1,
+            tasks_cloned: 1,
+            usage: 1.0,
+        }
+    }
+
+    fn report(jobs: Vec<JobMetrics>) -> SimReport {
+        let makespan = jobs.iter().map(|j| j.finish).max().unwrap_or(0);
+        SimReport {
+            scheduler: "test".into(),
+            jobs,
+            makespan,
+            decision_points: 0,
+            scheduling_ns: 0,
+            utilization: Vec::new(),
+            timeline: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let r = report(vec![jm(0, 0, 10, 2), jm(1, 5, 9, 6)]);
+        assert_eq!(r.total_flowtime(), 14);
+        assert!((r.mean_flowtime() - 7.0).abs() < 1e-12);
+        assert!((r.mean_running_time() - 5.5).abs() < 1e-12);
+        assert!((r.total_usage() - 2.0).abs() < 1e-12);
+        assert!((r.cloned_task_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_is_all_zero() {
+        let r = report(vec![]);
+        assert_eq!(r.total_flowtime(), 0);
+        assert_eq!(r.mean_flowtime(), 0.0);
+        assert_eq!(r.cloned_task_fraction(), 0.0);
+        assert_eq!(r.makespan, 0);
+    }
+
+    #[test]
+    fn cumulative_series_sorted_by_arrival() {
+        let r = report(vec![jm(0, 10, 30, 10), jm(1, 0, 50, 0)]);
+        let series = r.cumulative_flowtime_by_arrival();
+        assert_eq!(series, vec![(0, 50), (10, 70)]);
+    }
+
+    #[test]
+    fn csv_export_is_sorted_and_complete() {
+        let r = report(vec![jm(1, 10, 30, 12), jm(0, 0, 20, 1)]);
+        let csv = r.jobs_to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3, "header + 2 rows");
+        assert!(lines[0].starts_with("job,label,arrival"));
+        assert!(
+            lines[1].starts_with("0,t,0,"),
+            "arrival order: {}",
+            lines[1]
+        );
+        assert!(lines[2].starts_with("1,t,10,"));
+        // Row fields count matches the header.
+        assert_eq!(lines[1].split(',').count(), lines[0].split(',').count());
+    }
+
+    #[test]
+    fn cdf_basic_properties() {
+        let c = cdf(vec![3.0, 1.0, 2.0, f64::NAN]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c[0], (1.0, 1.0 / 3.0));
+        assert_eq!(c[2], (3.0, 1.0));
+        assert!((cdf_at(&c, 2.5) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cdf_at(&c, 0.5), 0.0);
+        assert_eq!(cdf_at(&c, 99.0), 1.0);
+    }
+
+    #[test]
+    fn slowdowns_and_jain() {
+        let r = report(vec![jm(0, 0, 10, 5), jm(1, 0, 20, 10)]);
+        // flow 10 / run 5 = 2; flow 20 / run 10 = 2.
+        assert_eq!(r.slowdowns(), vec![2.0, 2.0]);
+        assert!(
+            (jain_index(&r.slowdowns()) - 1.0).abs() < 1e-12,
+            "equal → 1"
+        );
+        // One dominant sample → index tends to 1/n.
+        assert!((jain_index(&[1.0, 0.0]) - 0.5).abs() < 1e-12);
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+        assert_eq!(jain_index(&[f64::NAN, 3.0]), 1.0, "single finite value");
+    }
+
+    #[test]
+    fn utilization_means_are_time_weighted() {
+        let mut r = report(vec![jm(0, 0, 10, 2)]);
+        // 100% CPU for 1 slot, then 0% for 9 slots → mean 0.1.
+        r.utilization = vec![(0, 1.0, 0.5), (1, 0.0, 0.0), (10, 0.0, 0.0)];
+        assert!((r.mean_cpu_utilization() - 0.1).abs() < 1e-12);
+        assert!((r.mean_mem_utilization() - 0.05).abs() < 1e-12);
+        // Unrecorded series → 0.
+        r.utilization.clear();
+        assert_eq!(r.mean_cpu_utilization(), 0.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let v = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&v, 0.5), 2.0);
+        assert_eq!(quantile(&v, 1.0), 4.0);
+        assert_eq!(quantile(&v, 0.0), 1.0);
+        assert_eq!(quantile(&[], 0.5), 0.0);
+    }
+}

@@ -1,0 +1,94 @@
+//! The scheduler interface and a reference FIFO/first-fit implementation.
+//!
+//! Every policy in `dollymp-schedulers` (DollyMP itself, Tetris, DRF,
+//! Carbyne, the Capacity scheduler, …) implements [`Scheduler`] and is
+//! driven by the same engine through the same [`ClusterView`] — keeping
+//! cross-scheduler comparisons apples-to-apples (DESIGN.md §4.2).
+
+use crate::spec::ServerId;
+use crate::state::{CopyKind, TaskStatus};
+use crate::view::ClusterView;
+use dollymp_core::job::{JobId, TaskRef};
+use serde::{Deserialize, Serialize};
+
+/// One placement decision: launch a copy of `task` on `server`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Assignment {
+    /// The task receiving a copy.
+    pub task: TaskRef,
+    /// Target server.
+    pub server: ServerId,
+    /// Primary launch or redundant clone.
+    pub kind: CopyKind,
+}
+
+/// A cluster scheduling policy.
+///
+/// The engine calls [`Scheduler::schedule`] once per decision point (job
+/// arrival or any task/copy completion — which, in the slotted model, is
+/// always a slot boundary). The returned batch must be *self-consistent*:
+/// the scheduler is responsible for not over-committing the free resources
+/// it sees in the view, because the engine validates each assignment
+/// against remaining capacity and panics on violations (scheduler bugs
+/// should fail loudly, not silently skew experiments).
+pub trait Scheduler {
+    /// Human-readable policy name (used in reports).
+    fn name(&self) -> String;
+
+    /// Called when a job enters the cluster, before the scheduling pass of
+    /// the same slot. DollyMP refreshes Algorithm 1 priorities here (§5).
+    fn on_job_arrival(&mut self, _view: &ClusterView<'_>, _job: JobId) {}
+
+    /// Called when a job fully completes, with its final runtime state
+    /// (so estimation layers can archive observed statistics).
+    fn on_job_finish(&mut self, _job: &crate::state::JobState) {}
+
+    /// Produce the placement batch for this decision point.
+    fn schedule(&mut self, view: &ClusterView<'_>) -> Vec<Assignment>;
+}
+
+/// Reference policy: FIFO job order, first-fit placement, no cloning.
+///
+/// Used by the engine's own tests and as the simplest baseline. Jobs are
+/// visited in arrival order (ties by id), tasks in (phase, task) order,
+/// and each task goes to the first server with room.
+#[derive(Debug, Default, Clone)]
+pub struct FifoFirstFit;
+
+impl Scheduler for FifoFirstFit {
+    fn name(&self) -> String {
+        "fifo".into()
+    }
+
+    fn schedule(&mut self, view: &ClusterView<'_>) -> Vec<Assignment> {
+        let mut free: Vec<_> = view.servers().map(|(_, _, f)| f).collect();
+        let mut out = Vec::new();
+        let mut jobs: Vec<_> = view.jobs().collect();
+        jobs.sort_by_key(|j| (j.spec().arrival, j.id()));
+        for job in jobs {
+            for task in job.ready_tasks() {
+                let demand = job.spec().phase(task.phase).demand;
+                if let Some(sid) = (0..free.len()).find(|&s| demand.fits_in(free[s])) {
+                    free[sid] -= demand;
+                    out.push(Assignment {
+                        task,
+                        server: ServerId(sid as u32),
+                        kind: CopyKind::Primary,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Helper shared by schedulers: true when `task` may legally receive a
+/// clone right now (running, short of the copy budget).
+pub fn clone_allowed(view: &ClusterView<'_>, task: TaskRef, max_copies: u32) -> bool {
+    view.job(task.job)
+        .map(|j| {
+            let t = j.task(task.phase, task.task);
+            t.status == TaskStatus::Running && t.live_copies() < max_copies
+        })
+        .unwrap_or(false)
+}

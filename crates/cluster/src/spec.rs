@@ -1,0 +1,243 @@
+//! Static cluster descriptions: servers, racks, capacities.
+//!
+//! The paper's testbed (§6.1) is a 30-node heterogeneous cluster — two
+//! powerful 24-core servers, seven 16-core servers and twenty-one 8-core
+//! nodes, 328 cores in total, within two racks. [`ClusterSpec::paper_30_node`]
+//! reproduces that shape; [`ClusterSpec::google_like`] builds the 30K-server
+//! mix used by the trace-driven simulations (§6.3).
+
+use dollymp_core::resources::Resources;
+use serde::{Deserialize, Serialize};
+
+/// Identifies one server in a [`ClusterSpec`] (its index).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct ServerId(pub u32);
+
+/// One physical server.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServerSpec {
+    /// Total capacity (CPU cores, memory GB).
+    pub capacity: Resources,
+    /// Rack the server sits in (locality domain).
+    pub rack: u32,
+    /// Processing speed multiplier: task durations are divided by this.
+    /// `1.0` is a nominal node; `< 1.0` models the slow/contended servers
+    /// that cause stragglers, `> 1.0` the "powerful servers" of §6.1.
+    pub speed: f64,
+}
+
+impl ServerSpec {
+    /// A nominal-speed server.
+    pub fn new(cpu_cores: f64, mem_gb: f64) -> Self {
+        ServerSpec {
+            capacity: Resources::new(cpu_cores, mem_gb),
+            rack: 0,
+            speed: 1.0,
+        }
+    }
+
+    /// Set the rack.
+    pub fn with_rack(mut self, rack: u32) -> Self {
+        self.rack = rack;
+        self
+    }
+
+    /// Set the speed multiplier.
+    ///
+    /// # Panics
+    /// Panics unless `speed` is positive and finite.
+    pub fn with_speed(mut self, speed: f64) -> Self {
+        assert!(speed.is_finite() && speed > 0.0, "speed must be > 0");
+        self.speed = speed;
+        self
+    }
+}
+
+/// An immutable cluster description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    servers: Vec<ServerSpec>,
+    totals: Resources,
+}
+
+impl ClusterSpec {
+    /// Build from a server list.
+    ///
+    /// # Panics
+    /// Panics on an empty list or a zero-capacity server.
+    pub fn new(servers: Vec<ServerSpec>) -> Self {
+        assert!(!servers.is_empty(), "cluster needs at least one server");
+        for (i, s) in servers.iter().enumerate() {
+            assert!(!s.capacity.is_zero(), "server {i} has zero capacity");
+        }
+        let totals = servers.iter().map(|s| s.capacity).sum();
+        ClusterSpec { servers, totals }
+    }
+
+    /// `n` identical nominal servers.
+    pub fn homogeneous(n: u32, cpu_cores: f64, mem_gb: f64) -> Self {
+        assert!(n >= 1);
+        ClusterSpec::new(vec![ServerSpec::new(cpu_cores, mem_gb); n as usize])
+    }
+
+    /// The paper's 30-node private cluster (§6.1): two 24-core/48 GB
+    /// powerhouses, seven 16-core nodes (32–64 GB), twenty-one 8-core/16 GB
+    /// nodes, spread over two racks. The powerful servers run at 1.25×
+    /// nominal speed and a few of the small nodes run slow (0.5×),
+    /// modelling the background-load interference the paper observes in §2.
+    pub fn paper_30_node() -> Self {
+        let mut servers = Vec::with_capacity(30);
+        for i in 0..2u32 {
+            servers.push(
+                ServerSpec::new(24.0, 48.0)
+                    .with_rack(0)
+                    .with_speed(1.25 + 0.05 * i as f64),
+            );
+        }
+        for i in 0..7u32 {
+            // 32–64 GB spread across the seven mid nodes.
+            let mem = 32.0 + (i % 3) as f64 * 16.0;
+            servers.push(ServerSpec::new(16.0, mem).with_rack(i % 2));
+        }
+        for i in 0..21u32 {
+            // Every fifth small node is a slow, contended VM.
+            let speed = if i % 5 == 4 { 0.5 } else { 1.0 };
+            servers.push(
+                ServerSpec::new(8.0, 16.0)
+                    .with_rack(i % 2)
+                    .with_speed(speed),
+            );
+        }
+        ClusterSpec::new(servers)
+    }
+
+    /// A Google-like fleet of `n` servers for the §6.3 trace simulations:
+    /// a mix of three machine shapes in the proportions of the public
+    /// cluster traces, with 10 % of machines running slow.
+    pub fn google_like(n: u32, rng_seed: u64) -> Self {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        assert!(n >= 1);
+        let mut rng = SmallRng::seed_from_u64(rng_seed);
+        let mut servers = Vec::with_capacity(n as usize);
+        for i in 0..n {
+            let shape = rng.gen_range(0..10);
+            let base = match shape {
+                0..=5 => ServerSpec::new(16.0, 32.0), // 60 %: standard
+                6..=8 => ServerSpec::new(32.0, 64.0), // 30 %: big
+                _ => ServerSpec::new(8.0, 16.0),      // 10 %: small
+            };
+            let speed = if rng.gen_bool(0.1) {
+                rng.gen_range(0.4..0.8) // contended machine
+            } else {
+                rng.gen_range(0.9..1.2)
+            };
+            servers.push(base.with_rack(i / 40).with_speed(speed));
+        }
+        ClusterSpec::new(servers)
+    }
+
+    /// The servers, indexed by [`ServerId`].
+    pub fn servers(&self) -> &[ServerSpec] {
+        &self.servers
+    }
+
+    /// A single server.
+    pub fn server(&self, id: ServerId) -> &ServerSpec {
+        &self.servers[id.0 as usize]
+    }
+
+    /// Number of servers `M`.
+    pub fn len(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Always false — construction rejects empty clusters.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Total capacity `(Σ C_i, Σ M_i)` — the denominator of Eq. (9)/(15).
+    pub fn totals(&self) -> Resources {
+        self.totals
+    }
+
+    /// Iterate `(ServerId, &ServerSpec)`.
+    pub fn iter(&self) -> impl Iterator<Item = (ServerId, &ServerSpec)> {
+        self.servers
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (ServerId(i as u32), s))
+    }
+
+    /// A copy of this cluster with every CPU capacity scaled by `factor`
+    /// — how the §6.3 load sweep (Fig. 10) varies cluster load while
+    /// keeping the workload fixed.
+    pub fn scale_cpu(&self, factor: f64) -> ClusterSpec {
+        assert!(factor.is_finite() && factor > 0.0);
+        let servers = self
+            .servers
+            .iter()
+            .map(|s| ServerSpec {
+                capacity: Resources::new((s.capacity.cpu() * factor).max(0.001), s.capacity.mem()),
+                ..*s
+            })
+            .collect();
+        ClusterSpec::new(servers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cluster_matches_section_6_1() {
+        let c = ClusterSpec::paper_30_node();
+        assert_eq!(c.len(), 30);
+        // 2×24 + 7×16 + 21×8 = 328 cores.
+        assert!((c.totals().cpu() - 328.0).abs() < 1e-9);
+        // Two racks.
+        let racks: std::collections::HashSet<u32> = c.servers().iter().map(|s| s.rack).collect();
+        assert_eq!(racks.len(), 2);
+        // Contains both fast and slow machines (heterogeneity).
+        assert!(c.servers().iter().any(|s| s.speed > 1.0));
+        assert!(c.servers().iter().any(|s| s.speed < 1.0));
+    }
+
+    #[test]
+    fn homogeneous_totals() {
+        let c = ClusterSpec::homogeneous(4, 8.0, 16.0);
+        assert_eq!(c.totals(), Resources::new(32.0, 64.0));
+        assert_eq!(c.server(ServerId(3)).capacity, Resources::new(8.0, 16.0));
+    }
+
+    #[test]
+    fn google_like_is_deterministic_per_seed() {
+        let a = ClusterSpec::google_like(100, 42);
+        let b = ClusterSpec::google_like(100, 42);
+        let c = ClusterSpec::google_like(100, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 100);
+    }
+
+    #[test]
+    fn scale_cpu_scales_only_cpu() {
+        let c = ClusterSpec::homogeneous(2, 8.0, 16.0).scale_cpu(0.5);
+        assert_eq!(c.totals(), Resources::new(8.0, 32.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn empty_cluster_rejected() {
+        let _ = ClusterSpec::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero capacity")]
+    fn zero_capacity_server_rejected() {
+        let _ = ClusterSpec::new(vec![ServerSpec::new(0.0, 0.0)]);
+    }
+}

@@ -1,0 +1,389 @@
+//! Runtime state of jobs, phases, tasks and copies inside the simulator.
+//!
+//! The engine owns and mutates this state; schedulers observe it read-only
+//! through [`crate::view::ClusterView`]. Task *copies* (a primary plus up
+//! to two clones, §5) are first-class: each copy occupies resources on one
+//! server from its start until it finishes or is killed when a sibling
+//! finishes first.
+
+use crate::spec::ServerId;
+use dollymp_core::job::{JobId, JobSpec, PhaseId, TaskId, TaskRef};
+use dollymp_core::resources::Resources;
+use dollymp_core::stats::RunningStats;
+use dollymp_core::time::Time;
+use serde::{Deserialize, Serialize};
+
+/// Whether a copy is the first launch of a task or an extra clone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CopyKind {
+    /// The task's first copy.
+    Primary,
+    /// A redundant copy racing the primary (straggler mitigation).
+    Clone,
+}
+
+/// One running (or finished/killed) copy of a task.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CopyState {
+    /// Copy index (0 = primary).
+    pub copy_idx: u32,
+    /// Where it runs.
+    pub server: ServerId,
+    /// When it started.
+    pub start: Time,
+    /// When it would finish if not killed (engine-internal; hidden from
+    /// scheduler views, which only see elapsed time).
+    pub(crate) finish: Time,
+    /// Primary or clone.
+    pub kind: CopyKind,
+    /// Still occupying resources?
+    pub(crate) live: bool,
+}
+
+impl CopyState {
+    /// Elapsed running time at `now`.
+    pub fn elapsed(&self, now: Time) -> Time {
+        now.saturating_sub(self.start)
+    }
+
+    /// Is this copy still running?
+    pub fn is_live(&self) -> bool {
+        self.live
+    }
+}
+
+/// Lifecycle of a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TaskStatus {
+    /// Waiting on parent phases (Eq. 7).
+    Blocked,
+    /// All parents finished; may be launched.
+    Ready,
+    /// At least one copy is running.
+    Running,
+    /// Finished (first copy to complete wins).
+    Done,
+}
+
+/// Runtime state of one task.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TaskState {
+    /// Current lifecycle stage.
+    pub status: TaskStatus,
+    /// All copies ever launched (live and dead).
+    pub copies: Vec<CopyState>,
+    /// Completion time, once done.
+    pub finish: Option<Time>,
+    /// Index of the copy that finished first (set when done).
+    pub winner: Option<u32>,
+}
+
+impl TaskState {
+    fn new(blocked: bool) -> Self {
+        TaskState {
+            status: if blocked {
+                TaskStatus::Blocked
+            } else {
+                TaskStatus::Ready
+            },
+            copies: Vec::new(),
+            finish: None,
+            winner: None,
+        }
+    }
+
+    /// Number of live copies.
+    pub fn live_copies(&self) -> u32 {
+        self.copies.iter().filter(|c| c.live).count() as u32
+    }
+
+    /// Total copies ever launched.
+    pub fn launched_copies(&self) -> u32 {
+        self.copies.len() as u32
+    }
+}
+
+/// Runtime state of one phase.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PhaseState {
+    /// Tasks not yet finished.
+    pub remaining: u32,
+    /// Parents all complete → tasks may run.
+    pub runnable: bool,
+    /// Observed durations of completed copies (feeds speculation and the
+    /// AM statistics estimator).
+    pub observed: RunningStats,
+}
+
+/// Runtime state of one job inside the engine.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobState {
+    spec: JobSpec,
+    /// Pre-drawn per-phase duration tables (paired sampling).
+    pub(crate) tables: Vec<Vec<f64>>,
+    /// Per-phase runtime state.
+    pub(crate) phases: Vec<PhaseState>,
+    /// Per-phase, per-task runtime state.
+    pub(crate) tasks: Vec<Vec<TaskState>>,
+    /// First copy start across the whole job.
+    pub(crate) first_start: Option<Time>,
+    /// Job completion time.
+    pub(crate) finish: Option<Time>,
+    /// Accumulated normalized resource usage (Σ normalized demand ×
+    /// occupied slots over every copy, clones and killed copies included)
+    /// — the §6.3.1 usage metric.
+    pub(crate) usage_norm: f64,
+    /// Clone copies launched.
+    pub(crate) clone_launches: u64,
+}
+
+impl JobState {
+    /// Instantiate runtime state for a job. Called by the engine when a
+    /// job is admitted; public so that control-plane layers (the YARN
+    /// simulation) and tests can build job states directly.
+    pub fn new(spec: JobSpec, tables: Vec<Vec<f64>>) -> Self {
+        let phases: Vec<PhaseState> = spec
+            .phases()
+            .iter()
+            .map(|p| PhaseState {
+                remaining: p.ntasks,
+                runnable: p.parents.is_empty(),
+                observed: RunningStats::new(),
+            })
+            .collect();
+        let tasks: Vec<Vec<TaskState>> = spec
+            .phases()
+            .iter()
+            .map(|p| {
+                (0..p.ntasks)
+                    .map(|_| TaskState::new(!p.parents.is_empty()))
+                    .collect()
+            })
+            .collect();
+        JobState {
+            spec,
+            tables,
+            phases,
+            tasks,
+            first_start: None,
+            finish: None,
+            usage_norm: 0.0,
+            clone_launches: 0,
+        }
+    }
+
+    /// The immutable job description.
+    pub fn spec(&self) -> &JobSpec {
+        &self.spec
+    }
+
+    /// This job's id.
+    pub fn id(&self) -> JobId {
+        self.spec.id
+    }
+
+    /// Runtime state of one task.
+    pub fn task(&self, phase: PhaseId, task: TaskId) -> &TaskState {
+        &self.tasks[phase.0 as usize][task.0 as usize]
+    }
+
+    /// Runtime state of one phase.
+    pub fn phase_state(&self, phase: PhaseId) -> &PhaseState {
+        &self.phases[phase.0 as usize]
+    }
+
+    /// All tasks currently in [`TaskStatus::Ready`], in (phase, task)
+    /// order — the schedulable frontier.
+    pub fn ready_tasks(&self) -> Vec<TaskRef> {
+        let mut out = Vec::new();
+        for (pi, tasks) in self.tasks.iter().enumerate() {
+            if !self.phases[pi].runnable {
+                continue;
+            }
+            for (ti, t) in tasks.iter().enumerate() {
+                if t.status == TaskStatus::Ready {
+                    out.push(TaskRef {
+                        job: self.spec.id,
+                        phase: PhaseId(pi as u32),
+                        task: TaskId(ti as u32),
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// All tasks currently running (clone candidates), in (phase, task)
+    /// order.
+    pub fn running_tasks(&self) -> Vec<TaskRef> {
+        let mut out = Vec::new();
+        for (pi, tasks) in self.tasks.iter().enumerate() {
+            for (ti, t) in tasks.iter().enumerate() {
+                if t.status == TaskStatus::Running {
+                    out.push(TaskRef {
+                        job: self.spec.id,
+                        phase: PhaseId(pi as u32),
+                        task: TaskId(ti as u32),
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Unfinished task count per phase (`n_j^k(t)` of Eq. 16).
+    pub fn remaining_tasks(&self) -> Vec<u32> {
+        self.phases.iter().map(|p| p.remaining).collect()
+    }
+
+    /// Per-phase completion flags (for Eq. 17).
+    pub fn finished_phases(&self) -> Vec<bool> {
+        self.phases.iter().map(|p| p.remaining == 0).collect()
+    }
+
+    /// Remaining effective volume `v_j(t)` (Eq. 16).
+    pub fn remaining_volume(&self, totals: Resources, sigma_weight: f64) -> f64 {
+        self.spec
+            .remaining_volume(&self.remaining_tasks(), totals, sigma_weight)
+    }
+
+    /// Remaining effective processing time `e_j(t)` (Eq. 17).
+    pub fn remaining_etime(&self, sigma_weight: f64) -> f64 {
+        self.spec
+            .remaining_effective_time(&self.finished_phases(), sigma_weight)
+    }
+
+    /// Has every phase completed?
+    pub fn is_done(&self) -> bool {
+        self.phases.iter().all(|p| p.remaining == 0)
+    }
+
+    /// When the job finished, if it has.
+    pub fn finish_time(&self) -> Option<Time> {
+        self.finish
+    }
+
+    /// When the job's first copy started, if any has.
+    pub fn first_start(&self) -> Option<Time> {
+        self.first_start
+    }
+
+    /// Normalized resource usage accumulated so far.
+    pub fn usage(&self) -> f64 {
+        self.usage_norm
+    }
+
+    /// Clone copies launched so far.
+    pub fn clone_launches(&self) -> u64 {
+        self.clone_launches
+    }
+
+    /// Record a completed-copy duration observation for a phase. The
+    /// engine calls this when a task's winning copy finishes; exposed for
+    /// control-plane layers and tests that replay observations.
+    pub fn push_observed(&mut self, phase: PhaseId, duration: f64) {
+        self.phases[phase.0 as usize].observed.push(duration);
+    }
+
+    /// Completion records of every *finished* task: the server its
+    /// winning copy ran on, the phase, the observed winner duration (in
+    /// slots) and the phase's mean `θ`. These are past events, so exposing
+    /// them to schedulers leaks no future information — they feed the
+    /// server-reputation learner (the paper's §8 future work, implemented
+    /// in `dollymp-schedulers::learned`).
+    pub fn completion_records(&self) -> Vec<(ServerId, PhaseId, f64, f64)> {
+        let mut out = Vec::new();
+        for (pi, tasks) in self.tasks.iter().enumerate() {
+            let theta = self.spec.phase(PhaseId(pi as u32)).theta;
+            for t in tasks {
+                let (Some(finish), Some(winner)) = (t.finish, t.winner) else {
+                    continue;
+                };
+                if let Some(c) = t.copies.iter().find(|c| c.copy_idx == winner) {
+                    out.push((
+                        c.server,
+                        PhaseId(pi as u32),
+                        finish.saturating_sub(c.start) as f64,
+                        theta,
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of tasks that ever held more than one copy.
+    pub fn tasks_cloned(&self) -> u64 {
+        self.tasks
+            .iter()
+            .flatten()
+            .filter(|t| t.launched_copies() > 1)
+            .count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dollymp_core::job::PhaseSpec;
+
+    fn two_phase_job() -> JobState {
+        let spec = JobSpec::chain(
+            JobId(1),
+            vec![
+                PhaseSpec::new(2, Resources::new(1.0, 1.0), 10.0, 0.0),
+                PhaseSpec::new(1, Resources::new(1.0, 1.0), 5.0, 0.0),
+            ],
+        )
+        .unwrap();
+        let tables = vec![vec![10.0, 10.0], vec![5.0]];
+        JobState::new(spec, tables)
+    }
+
+    #[test]
+    fn initial_frontier_is_root_phase_only() {
+        let j = two_phase_job();
+        let ready = j.ready_tasks();
+        assert_eq!(ready.len(), 2);
+        assert!(ready.iter().all(|t| t.phase == PhaseId(0)));
+        assert_eq!(j.task(PhaseId(1), TaskId(0)).status, TaskStatus::Blocked);
+        assert!(!j.is_done());
+        assert_eq!(j.remaining_tasks(), vec![2, 1]);
+    }
+
+    #[test]
+    fn remaining_metrics_delegate_to_spec() {
+        let j = two_phase_job();
+        let totals = Resources::new(10.0, 10.0);
+        // v = 2·10·0.1 + 1·5·0.1 = 2.5 (w = 0)
+        assert!((j.remaining_volume(totals, 0.0) - 2.5).abs() < 1e-12);
+        assert!((j.remaining_etime(0.0) - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn copy_counters() {
+        let mut j = two_phase_job();
+        let t = &mut j.tasks[0][0];
+        t.copies.push(CopyState {
+            copy_idx: 0,
+            server: ServerId(0),
+            start: 0,
+            finish: 10,
+            kind: CopyKind::Primary,
+            live: true,
+        });
+        t.copies.push(CopyState {
+            copy_idx: 1,
+            server: ServerId(1),
+            start: 2,
+            finish: 8,
+            kind: CopyKind::Clone,
+            live: true,
+        });
+        t.status = TaskStatus::Running;
+        assert_eq!(j.task(PhaseId(0), TaskId(0)).live_copies(), 2);
+        assert_eq!(j.tasks_cloned(), 1);
+        assert_eq!(j.running_tasks().len(), 1);
+        assert_eq!(j.task(PhaseId(0), TaskId(0)).copies[1].elapsed(5), 3);
+    }
+}

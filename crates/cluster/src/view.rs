@@ -1,0 +1,100 @@
+//! The read-only cluster snapshot handed to schedulers.
+//!
+//! At every decision point the engine exposes a [`ClusterView`]: per-server
+//! free resources, the active jobs with their full runtime state, and the
+//! clock. Schedulers never see a copy's *future* finish time — only its
+//! start and elapsed time — so speculation policies must infer progress
+//! the way a real cluster manager would.
+
+use crate::spec::{ClusterSpec, ServerId, ServerSpec};
+use crate::state::JobState;
+use dollymp_core::job::JobId;
+use dollymp_core::resources::Resources;
+use dollymp_core::time::Time;
+use std::collections::BTreeMap;
+
+/// Immutable snapshot of the simulated cluster at one decision point.
+pub struct ClusterView<'a> {
+    /// Current slot.
+    pub now: Time,
+    pub(crate) spec: &'a ClusterSpec,
+    pub(crate) free: &'a [Resources],
+    pub(crate) jobs: &'a BTreeMap<JobId, JobState>,
+}
+
+impl<'a> ClusterView<'a> {
+    /// Assemble a view from its parts. The engine builds views
+    /// internally; this constructor exists for benchmarks and control-
+    /// plane tests that drive a [`crate::scheduler::Scheduler`] directly.
+    ///
+    /// # Panics
+    /// Panics when `free` does not have one entry per server.
+    pub fn new(
+        now: Time,
+        spec: &'a ClusterSpec,
+        free: &'a [Resources],
+        jobs: &'a BTreeMap<JobId, JobState>,
+    ) -> Self {
+        assert_eq!(free.len(), spec.len(), "one free entry per server");
+        ClusterView {
+            now,
+            spec,
+            free,
+            jobs,
+        }
+    }
+
+    /// The static cluster description.
+    pub fn cluster(&self) -> &'a ClusterSpec {
+        self.spec
+    }
+
+    /// Total cluster capacity `(Σ C_i, Σ M_i)`.
+    pub fn totals(&self) -> Resources {
+        self.spec.totals()
+    }
+
+    /// Free resources on one server right now.
+    pub fn free(&self, server: ServerId) -> Resources {
+        self.free[server.0 as usize]
+    }
+
+    /// Total free resources across the cluster.
+    pub fn total_free(&self) -> Resources {
+        self.free.iter().copied().sum()
+    }
+
+    /// Iterate `(ServerId, &ServerSpec, free)` over all servers.
+    pub fn servers(&self) -> impl Iterator<Item = (ServerId, &'a ServerSpec, Resources)> + '_ {
+        self.spec
+            .iter()
+            .map(move |(id, s)| (id, s, self.free[id.0 as usize]))
+    }
+
+    /// Active (arrived, unfinished) jobs in ascending [`JobId`] order.
+    pub fn jobs(&self) -> impl Iterator<Item = &'a JobState> + '_ {
+        self.jobs.values()
+    }
+
+    /// Number of active jobs.
+    pub fn num_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Look up one active job.
+    pub fn job(&self, id: JobId) -> Option<&'a JobState> {
+        self.jobs.get(&id)
+    }
+
+    /// Sum of remaining effective volume over active jobs *excluding*
+    /// `except` — the "other jobs' demand" of the §4.1 small-job cloning
+    /// gate.
+    pub fn other_remaining_volume(&self, except: JobId, sigma_weight: f64) -> f64 {
+        let totals = self.totals();
+        self.jobs
+            .values()
+            .filter(|j| j.id() != except)
+            .map(|j| j.remaining_volume(totals, sigma_weight))
+            .sum()
+    }
+}

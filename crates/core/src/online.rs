@@ -1,0 +1,309 @@
+//! Decision helpers for Algorithm 2 — the online DollyMP scheduler.
+//!
+//! The online scheduler (implemented in `dollymp-schedulers`) refreshes job
+//! priorities through Algorithm 1 on every arrival, then repeatedly places
+//! the best-fitting task of the highest-priority job group onto servers
+//! with free resources, and finally spends leftover capacity on clones.
+//! This module holds the pure pieces of that loop:
+//!
+//! * [`PriorityTable`] — the per-job priority/copy-count snapshot produced
+//!   by the latest Algorithm 1 run;
+//! * [`best_fit_score`] — the Tetris-style alignment inner product used to
+//!   break ties inside one priority group (Algorithm 2, step 12);
+//! * [`ClonePolicy`] — the cloning budget of §5 (≤ 2 extra copies) plus
+//!   the §4.1 *small-job gate* parameterized by `δ`.
+
+use crate::job::JobId;
+use crate::resources::Resources;
+use crate::transient::{TransientJob, TransientOutput, PRIORITY_UNSELECTED};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Snapshot of the latest Algorithm 1 output, keyed by job.
+///
+/// Refreshed (only) on job arrivals, per §5: *"the scheduling order of all
+/// jobs in the cluster won't be updated until the next job arrival"*.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PriorityTable {
+    entries: HashMap<JobId, PriorityEntry>,
+}
+
+/// One job's priority data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PriorityEntry {
+    /// Knapsack level from Algorithm 1 (smaller = earlier).
+    pub level: u32,
+    /// Recommended concurrent copies from Corollary 4.1 (≥ 1).
+    pub copies: u32,
+}
+
+impl PriorityTable {
+    /// Build a table from Algorithm 1 inputs and output (same order).
+    ///
+    /// # Panics
+    /// Panics when the slices disagree in length.
+    pub fn from_output(jobs: &[TransientJob], out: &TransientOutput) -> Self {
+        assert_eq!(jobs.len(), out.priorities.len());
+        let entries = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, j)| {
+                (
+                    j.id,
+                    PriorityEntry {
+                        level: out.priorities[i],
+                        copies: out.recommended_copies[i],
+                    },
+                )
+            })
+            .collect();
+        PriorityTable { entries }
+    }
+
+    /// The priority level of a job; unknown jobs sort last.
+    pub fn level(&self, job: JobId) -> u32 {
+        self.entries
+            .get(&job)
+            .map(|e| e.level)
+            .unwrap_or(PRIORITY_UNSELECTED)
+    }
+
+    /// The recommended copy count of a job (1 when unknown).
+    pub fn copies(&self, job: JobId) -> u32 {
+        self.entries.get(&job).map(|e| e.copies).unwrap_or(1)
+    }
+
+    /// Number of jobs tracked.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no jobs are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drop a completed job.
+    pub fn remove(&mut self, job: JobId) {
+        self.entries.remove(&job);
+    }
+
+    /// Group the given jobs by ascending priority level (jobs unknown to
+    /// the table sort last). Within a level, jobs are ordered by id —
+    /// the deterministic iteration order Algorithm 2's placement loop
+    /// uses in both the simulator scheduler and the YARN RM.
+    pub fn grouped(&self, jobs: impl Iterator<Item = JobId>) -> Vec<(u32, Vec<JobId>)> {
+        let mut tagged: Vec<(u32, JobId)> = jobs.map(|j| (self.level(j), j)).collect();
+        tagged.sort();
+        let mut groups: Vec<(u32, Vec<JobId>)> = Vec::new();
+        for (level, id) in tagged {
+            match groups.last_mut() {
+                Some((l, v)) if *l == level => v.push(id),
+                _ => groups.push((level, vec![id])),
+            }
+        }
+        groups
+    }
+}
+
+/// The Algorithm 2 (step 12) tie-break score: the inner product between a
+/// task's demand vector and the server's remaining capacity. Larger is
+/// better — the task that best "aligns" with what the server has left is
+/// placed first, exactly as in Tetris.
+pub fn best_fit_score(demand: Resources, available: Resources) -> f64 {
+    demand.dot(available)
+}
+
+/// The cloning rules of §4.1/§5.
+///
+/// * A task may hold at most `max_copies` concurrent copies (original
+///   included); the paper fixes 3, i.e. at most two clones, because `h` is
+///   concave and HDFS keeps two extra data replicas.
+/// * Clones are only worth their resource cost for *small* jobs. The
+///   paper's deployment uses a gate parameter `δ = 0.3` (§6.1); we
+///   interpret it per §4.1 ("schedule extra cloned copies for small jobs
+///   when the total amount of consumed resources under cloning is less
+///   than the resource demand of other jobs"): a job is clone-eligible
+///   when its remaining volume is at most `δ ×` the total remaining volume
+///   of the *other* unfinished jobs, or when no other work is waiting at
+///   all. This substitution is documented in DESIGN.md.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClonePolicy {
+    /// Maximum concurrent copies per task, original included (paper: 3).
+    pub max_copies: u32,
+    /// Small-job gate `δ` (paper: 0.3).
+    pub delta: f64,
+}
+
+impl Default for ClonePolicy {
+    fn default() -> Self {
+        ClonePolicy {
+            max_copies: 3,
+            delta: 0.3,
+        }
+    }
+}
+
+impl ClonePolicy {
+    /// A policy that never clones (DollyMP⁰).
+    pub fn disabled() -> Self {
+        ClonePolicy {
+            max_copies: 1,
+            delta: 0.0,
+        }
+    }
+
+    /// A policy with `clones` extra copies (DollyMP¹ → `clones = 1`, …).
+    pub fn with_clones(clones: u32) -> Self {
+        ClonePolicy {
+            max_copies: clones + 1,
+            delta: 0.3,
+        }
+    }
+
+    /// Whether a task currently holding `running_copies` copies may launch
+    /// one more, given the job's Corollary 4.1 recommendation.
+    pub fn may_add_copy(&self, running_copies: u32, recommended: u32) -> bool {
+        running_copies < self.max_copies.min(recommended.max(1)).max(1)
+            && running_copies < self.max_copies
+    }
+
+    /// Hard budget check only (ignores the recommendation): may this task
+    /// ever take another copy?
+    pub fn under_budget(&self, running_copies: u32) -> bool {
+        running_copies < self.max_copies
+    }
+
+    /// The §4.1 small-job gate: is a job with `job_remaining_volume`
+    /// clone-eligible when the other unfinished jobs total
+    /// `other_remaining_volume`?
+    pub fn small_job_gate(&self, job_remaining_volume: f64, other_remaining_volume: f64) -> bool {
+        if self.max_copies <= 1 {
+            return false;
+        }
+        if other_remaining_volume <= 0.0 {
+            // Nobody is delayed by the clone — always worth it.
+            return true;
+        }
+        job_remaining_volume <= self.delta * other_remaining_volume
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::speedup::SpeedupFn;
+    use crate::transient::{transient_schedule, TransientConfig};
+
+    fn jobs() -> Vec<TransientJob> {
+        vec![
+            TransientJob {
+                id: JobId(10),
+                volume: 0.5,
+                etime: 1.0,
+                dominant: 0.1,
+                speedup: SpeedupFn::Pareto { alpha: 2.0 },
+            },
+            TransientJob {
+                id: JobId(20),
+                volume: 50.0,
+                etime: 80.0,
+                dominant: 0.1,
+                speedup: SpeedupFn::Pareto { alpha: 2.0 },
+            },
+        ]
+    }
+
+    #[test]
+    fn table_round_trips_algorithm1() {
+        let js = jobs();
+        let out = transient_schedule(&js, &TransientConfig::default());
+        let table = PriorityTable::from_output(&js, &out);
+        assert_eq!(table.len(), 2);
+        assert!(table.level(JobId(10)) < table.level(JobId(20)));
+        assert!(table.copies(JobId(10)) >= 1);
+    }
+
+    #[test]
+    fn unknown_jobs_sort_last_with_one_copy() {
+        let table = PriorityTable::default();
+        assert_eq!(table.level(JobId(99)), PRIORITY_UNSELECTED);
+        assert_eq!(table.copies(JobId(99)), 1);
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn remove_drops_entries() {
+        let js = jobs();
+        let out = transient_schedule(&js, &TransientConfig::default());
+        let mut table = PriorityTable::from_output(&js, &out);
+        table.remove(JobId(10));
+        assert_eq!(table.level(JobId(10)), PRIORITY_UNSELECTED);
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn grouped_orders_levels_and_ids() {
+        let js = jobs();
+        let out = transient_schedule(&js, &TransientConfig::default());
+        let table = PriorityTable::from_output(&js, &out);
+        // Known job ids plus an unknown one (sorts last).
+        let groups = table.grouped([JobId(20), JobId(10), JobId(99)].into_iter());
+        assert!(groups.len() >= 2);
+        // First group holds the small job; last group the unknown.
+        assert_eq!(groups.first().unwrap().1, vec![JobId(10)]);
+        let (last_level, last_members) = groups.last().unwrap();
+        assert_eq!(*last_level, PRIORITY_UNSELECTED);
+        assert_eq!(last_members, &vec![JobId(99)]);
+        // Levels strictly ascending.
+        for w in groups.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+    }
+
+    #[test]
+    fn best_fit_prefers_aligned_demand() {
+        let avail = Resources::new(8.0, 2.0); // CPU-rich server
+        let cpu_heavy = Resources::new(4.0, 1.0);
+        let mem_heavy = Resources::new(1.0, 4.0);
+        assert!(best_fit_score(cpu_heavy, avail) > best_fit_score(mem_heavy, avail));
+    }
+
+    #[test]
+    fn clone_budget_limits_copies() {
+        let p = ClonePolicy::default(); // max 3 copies
+        assert!(p.may_add_copy(1, 3));
+        assert!(p.may_add_copy(2, 3));
+        assert!(!p.may_add_copy(3, 3));
+        // Recommendation of 1 blocks cloning even under budget.
+        assert!(!p.may_add_copy(1, 1));
+        assert!(p.under_budget(2));
+        assert!(!p.under_budget(3));
+    }
+
+    #[test]
+    fn disabled_policy_never_clones() {
+        let p = ClonePolicy::disabled();
+        assert!(!p.may_add_copy(1, 5));
+        assert!(!p.small_job_gate(0.0, 0.0));
+    }
+
+    #[test]
+    fn with_clones_sets_budget() {
+        assert_eq!(ClonePolicy::with_clones(2).max_copies, 3);
+        assert_eq!(ClonePolicy::with_clones(0).max_copies, 1);
+    }
+
+    #[test]
+    fn small_job_gate_semantics() {
+        let p = ClonePolicy::default(); // δ = 0.3
+                                        // Idle cluster (no other work): always eligible.
+        assert!(p.small_job_gate(100.0, 0.0));
+        // Small relative to the backlog: eligible.
+        assert!(p.small_job_gate(1.0, 10.0));
+        // Large relative to the backlog: not eligible.
+        assert!(!p.small_job_gate(5.0, 10.0));
+        // Boundary: exactly δ × other.
+        assert!(p.small_job_gate(3.0, 10.0));
+    }
+}

@@ -1,0 +1,289 @@
+//! 2D strip packing — the combinatorial core behind Theorem 1.
+//!
+//! Theorem 1's proof argues that when the optimum finishes `N_l` jobs by
+//! time `2ˡ`, Algorithm 1 finishes at least as many by `3R·2ˡ`,
+//! *"following the result of 2D-strip packing \[40\]"* (Steinberg 1997).
+//! A job with dominant share `d` and duration `t` is a `d × t` rectangle;
+//! scheduling on a unit-capacity machine is packing those rectangles
+//! into a width-1 strip, and the schedule length is the strip height.
+//!
+//! This module provides the classical **NFDH** (Next-Fit Decreasing
+//! Height) shelf algorithm with its textbook guarantee
+//! `H_NFDH ≤ 2·AREA + h_max ≤ 2·H_OPT + h_max`, plus the area and
+//! max-height lower bounds used to sandwich the optimum in tests. NFDH
+//! (rather than Steinberg's algorithm) suffices for the constant-factor
+//! argument, keeps the code auditable, and its bound is validated by
+//! property tests below.
+
+use serde::{Deserialize, Serialize};
+
+/// A rectangle to pack: `width ∈ (0, 1]` (dominant resource share) by
+/// `height > 0` (processing time).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    /// Width (share of the unit-capacity strip).
+    pub width: f64,
+    /// Height (duration).
+    pub height: f64,
+}
+
+impl Rect {
+    /// Construct a rectangle.
+    ///
+    /// # Panics
+    /// Panics unless `0 < width ≤ 1` and `height > 0` (both finite).
+    pub fn new(width: f64, height: f64) -> Self {
+        assert!(
+            width.is_finite() && width > 0.0 && width <= 1.0,
+            "width must be in (0, 1], got {width}"
+        );
+        assert!(
+            height.is_finite() && height > 0.0,
+            "height must be > 0, got {height}"
+        );
+        Rect { width, height }
+    }
+
+    /// Area `width × height` (the job's volume).
+    pub fn area(&self) -> f64 {
+        self.width * self.height
+    }
+}
+
+/// Where one rectangle landed in the strip.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Index into the input slice.
+    pub index: usize,
+    /// Left edge.
+    pub x: f64,
+    /// Bottom edge (time the job starts).
+    pub y: f64,
+}
+
+/// A complete packing: placements plus the strip height used.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Packing {
+    /// One placement per input rectangle.
+    pub placements: Vec<Placement>,
+    /// Total strip height (the makespan analogue).
+    pub height: f64,
+}
+
+impl Packing {
+    /// Verify the packing is feasible: every rectangle inside the strip,
+    /// no two rectangles overlapping. `O(n²)` — intended for tests.
+    pub fn is_valid(&self, rects: &[Rect]) -> bool {
+        const EPS: f64 = 1e-9;
+        for p in &self.placements {
+            let r = rects[p.index];
+            if p.x < -EPS || p.x + r.width > 1.0 + EPS || p.y < -EPS {
+                return false;
+            }
+            if p.y + r.height > self.height + EPS {
+                return false;
+            }
+        }
+        for (i, a) in self.placements.iter().enumerate() {
+            let ra = rects[a.index];
+            for b in self.placements.iter().skip(i + 1) {
+                let rb = rects[b.index];
+                let x_overlap = a.x + ra.width > b.x + EPS && b.x + rb.width > a.x + EPS;
+                let y_overlap = a.y + ra.height > b.y + EPS && b.y + rb.height > a.y + EPS;
+                if x_overlap && y_overlap {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Pack rectangles into a width-1 strip with Next-Fit Decreasing Height.
+///
+/// Rectangles are sorted by decreasing height and placed left-to-right on
+/// shelves; when one does not fit, a new shelf opens at the top of the
+/// current one. Guarantee (validated in tests):
+///
+/// `height(NFDH) ≤ 2 · Σ area + max height`.
+///
+/// Since any packing's height is at least `Σ area` (the strip has width
+/// 1) and at least `max height`, NFDH is within a factor 3 of optimal.
+pub fn nfdh(rects: &[Rect]) -> Packing {
+    if rects.is_empty() {
+        return Packing {
+            placements: Vec::new(),
+            height: 0.0,
+        };
+    }
+    let mut order: Vec<usize> = (0..rects.len()).collect();
+    order.sort_by(|&a, &b| {
+        rects[b]
+            .height
+            .partial_cmp(&rects[a].height)
+            .expect("finite heights")
+            .then(a.cmp(&b))
+    });
+
+    const EPS: f64 = 1e-12;
+    let mut placements = Vec::with_capacity(rects.len());
+    let mut shelf_y = 0.0f64; // bottom of the current shelf
+    let mut shelf_h = rects[order[0]].height; // height of the current shelf
+    let mut x = 0.0f64;
+    for &i in &order {
+        let r = rects[i];
+        if x + r.width > 1.0 + EPS {
+            // Open the next shelf.
+            shelf_y += shelf_h;
+            shelf_h = r.height; // decreasing order ⇒ tallest on the shelf
+            x = 0.0;
+        }
+        placements.push(Placement {
+            index: i,
+            x,
+            y: shelf_y,
+        });
+        x += r.width;
+    }
+    Packing {
+        placements,
+        height: shelf_y + shelf_h,
+    }
+}
+
+/// The two classical lower bounds on any strip packing's height: the
+/// total area (strip width is 1) and the tallest rectangle.
+pub fn lower_bound(rects: &[Rect]) -> f64 {
+    let area: f64 = rects.iter().map(Rect::area).sum();
+    let tallest = rects.iter().map(|r| r.height).fold(0.0f64, f64::max);
+    area.max(tallest)
+}
+
+/// The NFDH guarantee: `2 · Σ area + max height` — an upper bound on
+/// [`nfdh`]'s strip height.
+pub fn nfdh_bound(rects: &[Rect]) -> f64 {
+    let area: f64 = rects.iter().map(Rect::area).sum();
+    let tallest = rects.iter().map(|r| r.height).fold(0.0f64, f64::max);
+    2.0 * area + tallest
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_input() {
+        let p = nfdh(&[]);
+        assert_eq!(p.height, 0.0);
+        assert!(p.placements.is_empty());
+        assert!(p.is_valid(&[]));
+        assert_eq!(lower_bound(&[]), 0.0);
+    }
+
+    #[test]
+    fn single_rectangle() {
+        let r = [Rect::new(0.5, 3.0)];
+        let p = nfdh(&r);
+        assert_eq!(p.height, 3.0);
+        assert!(p.is_valid(&r));
+    }
+
+    #[test]
+    fn perfect_shelf_fills_exactly() {
+        // Four 0.25-wide, equal-height rectangles share one shelf.
+        let r = [Rect::new(0.25, 2.0); 4];
+        let p = nfdh(&r);
+        assert_eq!(p.height, 2.0);
+        assert!(p.is_valid(&r));
+    }
+
+    #[test]
+    fn overflow_opens_a_new_shelf() {
+        // Three 0.4-wide: two fit per shelf.
+        let r = [
+            Rect::new(0.4, 2.0),
+            Rect::new(0.4, 1.5),
+            Rect::new(0.4, 1.0),
+        ];
+        let p = nfdh(&r);
+        assert_eq!(p.height, 2.0 + 1.0, "tallest-first shelving");
+        assert!(p.is_valid(&r));
+    }
+
+    #[test]
+    fn decreasing_height_order_is_used() {
+        // Tall-narrow first even when listed last.
+        let r = [Rect::new(0.9, 1.0), Rect::new(0.9, 5.0)];
+        let p = nfdh(&r);
+        // Shelf 1: height 5 (the tall one), shelf 2: height 1.
+        assert_eq!(p.height, 6.0);
+        let tall = p.placements.iter().find(|pl| pl.index == 1).unwrap();
+        assert_eq!(tall.y, 0.0, "tallest goes first");
+    }
+
+    #[test]
+    fn validity_detects_overlap() {
+        let rects = [Rect::new(0.6, 1.0), Rect::new(0.6, 1.0)];
+        let bad = Packing {
+            placements: vec![
+                Placement {
+                    index: 0,
+                    x: 0.0,
+                    y: 0.0,
+                },
+                Placement {
+                    index: 1,
+                    x: 0.2,
+                    y: 0.0,
+                },
+            ],
+            height: 1.0,
+        };
+        assert!(!bad.is_valid(&rects));
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn zero_width_rejected() {
+        let _ = Rect::new(0.0, 1.0);
+    }
+
+    proptest! {
+        /// NFDH packings are always feasible.
+        #[test]
+        fn nfdh_is_feasible(
+            raw in prop::collection::vec((0.01f64..1.0, 0.1f64..20.0), 0..40)
+        ) {
+            let rects: Vec<Rect> = raw.iter().map(|&(w, h)| Rect::new(w, h)).collect();
+            let p = nfdh(&rects);
+            prop_assert!(p.is_valid(&rects));
+            prop_assert_eq!(p.placements.len(), rects.len());
+        }
+
+        /// The textbook bound holds: lower bound ≤ height ≤ 2·area + hmax.
+        #[test]
+        fn nfdh_bound_holds(
+            raw in prop::collection::vec((0.01f64..1.0, 0.1f64..20.0), 1..40)
+        ) {
+            let rects: Vec<Rect> = raw.iter().map(|&(w, h)| Rect::new(w, h)).collect();
+            let p = nfdh(&rects);
+            prop_assert!(p.height >= lower_bound(&rects) - 1e-9);
+            prop_assert!(
+                p.height <= nfdh_bound(&rects) + 1e-9,
+                "height {} exceeds NFDH bound {}",
+                p.height,
+                nfdh_bound(&rects)
+            );
+        }
+
+        /// Packing is deterministic and stable under duplicate heights.
+        #[test]
+        fn nfdh_is_deterministic(
+            raw in prop::collection::vec((0.01f64..1.0, 0.1f64..5.0), 0..20)
+        ) {
+            let rects: Vec<Rect> = raw.iter().map(|&(w, h)| Rect::new(w, h)).collect();
+            prop_assert_eq!(nfdh(&rects), nfdh(&rects));
+        }
+    }
+}

@@ -1,0 +1,431 @@
+//! Two-dimensional resource vectors (CPU cores, memory) and the
+//! *dominant resource* of Eq. (9)/(15).
+//!
+//! The paper models every task demand and every server capacity as a pair
+//! `(cpu, memory)`. To make the simulator's conservation laws exactly
+//! checkable (a running sum of `f64` demands would drift), resources are
+//! stored internally in integer **milli-units**: one CPU core is
+//! `1000` milli-cores and one GB of memory is `1000` milli-GB. All public
+//! constructors and accessors speak in fractional cores / GB.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Sub, SubAssign};
+
+/// Number of internal milli-units per external unit (core or GB).
+pub const MILLI: u64 = 1000;
+
+/// A two-dimensional resource vector: CPU cores and memory.
+///
+/// Internally integer milli-units so that additions and subtractions are
+/// exact; see the module docs.
+///
+/// ```
+/// use dollymp_core::resources::Resources;
+/// let server = Resources::new(8.0, 16.0);
+/// let task = Resources::new(1.5, 2.0);
+/// assert!(task.fits_in(server));
+/// assert_eq!(server - task, Resources::new(6.5, 14.0));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct Resources {
+    /// CPU in milli-cores.
+    cpu_m: u64,
+    /// Memory in milli-GB.
+    mem_m: u64,
+}
+
+impl Resources {
+    /// The zero vector.
+    pub const ZERO: Resources = Resources { cpu_m: 0, mem_m: 0 };
+
+    /// Build a resource vector from fractional CPU cores and GB of memory.
+    ///
+    /// Values are rounded to the nearest milli-unit. Negative inputs are
+    /// clamped to zero (resource demands are physically non-negative).
+    pub fn new(cpu_cores: f64, mem_gb: f64) -> Self {
+        Resources {
+            cpu_m: to_milli(cpu_cores),
+            mem_m: to_milli(mem_gb),
+        }
+    }
+
+    /// Build directly from integer milli-units.
+    pub const fn from_milli(cpu_m: u64, mem_m: u64) -> Self {
+        Resources { cpu_m, mem_m }
+    }
+
+    /// CPU in fractional cores.
+    pub fn cpu(&self) -> f64 {
+        self.cpu_m as f64 / MILLI as f64
+    }
+
+    /// Memory in fractional GB.
+    pub fn mem(&self) -> f64 {
+        self.mem_m as f64 / MILLI as f64
+    }
+
+    /// CPU in integer milli-cores.
+    pub const fn cpu_milli(&self) -> u64 {
+        self.cpu_m
+    }
+
+    /// Memory in integer milli-GB.
+    pub const fn mem_milli(&self) -> u64 {
+        self.mem_m
+    }
+
+    /// True if both components are zero.
+    pub const fn is_zero(&self) -> bool {
+        self.cpu_m == 0 && self.mem_m == 0
+    }
+
+    /// True if `self` fits within `capacity` on both dimensions
+    /// (the per-server feasibility test of Eq. (5)).
+    pub const fn fits_in(&self, capacity: Resources) -> bool {
+        self.cpu_m <= capacity.cpu_m && self.mem_m <= capacity.mem_m
+    }
+
+    /// Component-wise checked subtraction; `None` if it would underflow on
+    /// either dimension.
+    pub fn checked_sub(&self, rhs: Resources) -> Option<Resources> {
+        Some(Resources {
+            cpu_m: self.cpu_m.checked_sub(rhs.cpu_m)?,
+            mem_m: self.mem_m.checked_sub(rhs.mem_m)?,
+        })
+    }
+
+    /// Component-wise saturating subtraction.
+    pub fn saturating_sub(&self, rhs: Resources) -> Resources {
+        Resources {
+            cpu_m: self.cpu_m.saturating_sub(rhs.cpu_m),
+            mem_m: self.mem_m.saturating_sub(rhs.mem_m),
+        }
+    }
+
+    /// Multiply both components by an integer factor (e.g. `n` identical
+    /// tasks of one phase).
+    pub fn scale(&self, n: u64) -> Resources {
+        Resources {
+            cpu_m: self.cpu_m * n,
+            mem_m: self.mem_m * n,
+        }
+    }
+
+    /// Inner product with another vector, in external units
+    /// (cores·cores + GB·GB). This is Tetris' *alignment score* between a
+    /// task demand and a server's remaining capacity (§5, Algorithm 2
+    /// step 12).
+    pub fn dot(&self, rhs: Resources) -> f64 {
+        self.cpu() * rhs.cpu() + self.mem() * rhs.mem()
+    }
+
+    /// Component-wise maximum.
+    ///
+    /// Takes `self` by value so this inherent method wins method
+    /// resolution over `Ord::max` (which would compare lexicographically).
+    pub fn max(self, rhs: Resources) -> Resources {
+        Resources {
+            cpu_m: self.cpu_m.max(rhs.cpu_m),
+            mem_m: self.mem_m.max(rhs.mem_m),
+        }
+    }
+
+    /// Component-wise minimum.
+    ///
+    /// Takes `self` by value so this inherent method wins method
+    /// resolution over `Ord::min` (which would compare lexicographically).
+    pub fn min(self, rhs: Resources) -> Resources {
+        Resources {
+            cpu_m: self.cpu_m.min(rhs.cpu_m),
+            mem_m: self.mem_m.min(rhs.mem_m),
+        }
+    }
+
+    /// The Euclidean norm in external units, used to normalize alignment
+    /// scores across heterogeneous servers.
+    pub fn norm(&self) -> f64 {
+        self.dot(*self).sqrt()
+    }
+
+    /// Sum of normalized shares relative to `totals`
+    /// (`cpu/total_cpu + mem/total_mem`). This is the "resource usage"
+    /// metric of §6.3.1 before multiplying by task duration.
+    pub fn normalized_sum(&self, totals: Resources) -> f64 {
+        let mut s = 0.0;
+        if totals.cpu_m > 0 {
+            s += self.cpu_m as f64 / totals.cpu_m as f64;
+        }
+        if totals.mem_m > 0 {
+            s += self.mem_m as f64 / totals.mem_m as f64;
+        }
+        s
+    }
+}
+
+/// The dominant share of a demand relative to cluster totals — Eq. (9)/(15):
+///
+/// `d = max(cpu / Σ C_i, mem / Σ M_i)`.
+///
+/// Returns `0.0` when `totals` is zero on both dimensions (empty cluster).
+///
+/// ```
+/// use dollymp_core::resources::{dominant_share, Resources};
+/// let d = dominant_share(Resources::new(2.0, 2.0), Resources::new(10.0, 40.0));
+/// assert!((d - 0.2).abs() < 1e-12);
+/// ```
+pub fn dominant_share(demand: Resources, totals: Resources) -> f64 {
+    let cpu_share = if totals.cpu_milli() > 0 {
+        demand.cpu_milli() as f64 / totals.cpu_milli() as f64
+    } else {
+        0.0
+    };
+    let mem_share = if totals.mem_milli() > 0 {
+        demand.mem_milli() as f64 / totals.mem_milli() as f64
+    } else {
+        0.0
+    };
+    cpu_share.max(mem_share)
+}
+
+fn to_milli(x: f64) -> u64 {
+    if x <= 0.0 || !x.is_finite() {
+        0
+    } else {
+        (x * MILLI as f64).round() as u64
+    }
+}
+
+impl Add for Resources {
+    type Output = Resources;
+    fn add(self, rhs: Resources) -> Resources {
+        Resources {
+            cpu_m: self.cpu_m + rhs.cpu_m,
+            mem_m: self.mem_m + rhs.mem_m,
+        }
+    }
+}
+
+impl AddAssign for Resources {
+    fn add_assign(&mut self, rhs: Resources) {
+        self.cpu_m += rhs.cpu_m;
+        self.mem_m += rhs.mem_m;
+    }
+}
+
+impl Sub for Resources {
+    type Output = Resources;
+    /// Panics on underflow — use [`Resources::checked_sub`] when the
+    /// subtraction is not known to be safe.
+    fn sub(self, rhs: Resources) -> Resources {
+        self.checked_sub(rhs)
+            .expect("resource subtraction underflow")
+    }
+}
+
+impl SubAssign for Resources {
+    fn sub_assign(&mut self, rhs: Resources) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Resources {
+    type Output = Resources;
+    fn mul(self, n: u64) -> Resources {
+        self.scale(n)
+    }
+}
+
+impl Sum for Resources {
+    fn sum<I: Iterator<Item = Resources>>(iter: I) -> Resources {
+        iter.fold(Resources::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Resources {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{:.3} cores, {:.3} GB>", self.cpu(), self.mem())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_round_trips_external_units() {
+        let r = Resources::new(2.5, 7.25);
+        assert!((r.cpu() - 2.5).abs() < 1e-9);
+        assert!((r.mem() - 7.25).abs() < 1e-9);
+        assert_eq!(r.cpu_milli(), 2500);
+        assert_eq!(r.mem_milli(), 7250);
+    }
+
+    #[test]
+    fn negative_and_nan_inputs_clamp_to_zero() {
+        assert_eq!(Resources::new(-1.0, -3.0), Resources::ZERO);
+        assert_eq!(Resources::new(f64::NAN, f64::INFINITY).cpu_milli(), 0);
+    }
+
+    #[test]
+    fn fits_in_is_componentwise() {
+        let cap = Resources::new(4.0, 8.0);
+        assert!(Resources::new(4.0, 8.0).fits_in(cap));
+        assert!(!Resources::new(4.001, 8.0).fits_in(cap));
+        assert!(!Resources::new(4.0, 8.001).fits_in(cap));
+        assert!(Resources::ZERO.fits_in(cap));
+    }
+
+    #[test]
+    fn arithmetic_is_exact() {
+        let a = Resources::new(0.1, 0.2);
+        let mut acc = Resources::ZERO;
+        for _ in 0..10 {
+            acc += a;
+        }
+        // 10 × 0.1 cores is exactly 1 core in milli-units — no float drift.
+        assert_eq!(acc, Resources::new(1.0, 2.0));
+        for _ in 0..10 {
+            acc -= a;
+        }
+        assert_eq!(acc, Resources::ZERO);
+    }
+
+    #[test]
+    fn checked_sub_detects_underflow() {
+        let a = Resources::new(1.0, 1.0);
+        let b = Resources::new(2.0, 0.5);
+        assert!(a.checked_sub(b).is_none());
+        assert_eq!(a.saturating_sub(b), Resources::new(0.0, 0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_panics_on_underflow() {
+        let _ = Resources::new(1.0, 1.0) - Resources::new(1.0, 2.0);
+    }
+
+    #[test]
+    fn dot_product_matches_manual() {
+        let a = Resources::new(2.0, 3.0);
+        let b = Resources::new(4.0, 5.0);
+        assert!((a.dot(b) - 23.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dominant_share_picks_max_dimension() {
+        let totals = Resources::new(100.0, 200.0);
+        // cpu share 0.02, mem share 0.05 → dominant is memory.
+        let d = dominant_share(Resources::new(2.0, 10.0), totals);
+        assert!((d - 0.05).abs() < 1e-12);
+        // Degenerate empty cluster.
+        assert_eq!(
+            dominant_share(Resources::new(1.0, 1.0), Resources::ZERO),
+            0.0
+        );
+    }
+
+    #[test]
+    fn scale_and_sum() {
+        let r = Resources::new(1.0, 2.0);
+        assert_eq!(r.scale(3), Resources::new(3.0, 6.0));
+        let total: Resources = [r, r, r].into_iter().sum();
+        assert_eq!(total, r * 3);
+    }
+
+    #[test]
+    fn normalized_sum_handles_zero_totals() {
+        let r = Resources::new(1.0, 1.0);
+        assert_eq!(r.normalized_sum(Resources::ZERO), 0.0);
+        let t = Resources::new(10.0, 0.0);
+        assert!((r.normalized_sum(t) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_max_are_componentwise() {
+        let a = Resources::new(1.0, 4.0);
+        let b = Resources::new(2.0, 3.0);
+        assert_eq!(a.max(b), Resources::new(2.0, 4.0));
+        assert_eq!(a.min(b), Resources::new(1.0, 3.0));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_res() -> impl Strategy<Value = Resources> {
+            (0u64..1_000_000, 0u64..1_000_000).prop_map(|(c, m)| Resources::from_milli(c, m))
+        }
+
+        proptest! {
+            /// Addition then subtraction is exact (the integer-milli-unit
+            /// design goal).
+            #[test]
+            fn add_sub_round_trips(a in arb_res(), b in arb_res()) {
+                prop_assert_eq!((a + b) - b, a);
+                prop_assert_eq!((a + b).checked_sub(a), Some(b));
+            }
+
+            /// `fits_in` is a partial order: reflexive, antisymmetric,
+            /// transitive.
+            #[test]
+            fn fits_in_is_a_partial_order(a in arb_res(), b in arb_res(), c in arb_res()) {
+                prop_assert!(a.fits_in(a));
+                if a.fits_in(b) && b.fits_in(a) {
+                    prop_assert_eq!(a, b);
+                }
+                if a.fits_in(b) && b.fits_in(c) {
+                    prop_assert!(a.fits_in(c));
+                }
+            }
+
+            /// Dominant share is monotone in the demand and scale-free in
+            /// the totals.
+            #[test]
+            fn dominant_share_monotone(a in arb_res(), b in arb_res(), t in arb_res()) {
+                prop_assume!(t.cpu_milli() > 0 && t.mem_milli() > 0);
+                let bigger = a.max(b);
+                prop_assert!(dominant_share(bigger, t) >= dominant_share(a, t) - 1e-12);
+                // Doubling totals halves the share.
+                let d1 = dominant_share(a, t);
+                let d2 = dominant_share(a, t + t);
+                prop_assert!((d1 - 2.0 * d2).abs() < 1e-9);
+            }
+
+            /// min/max are the lattice meet/join for fits_in.
+            #[test]
+            fn min_max_are_lattice_ops(a in arb_res(), b in arb_res()) {
+                let lo = a.min(b);
+                let hi = a.max(b);
+                prop_assert!(lo.fits_in(a) && lo.fits_in(b));
+                prop_assert!(a.fits_in(hi) && b.fits_in(hi));
+                prop_assert_eq!(lo + hi, a + b);
+            }
+
+            /// saturating_sub never underflows and agrees with checked_sub
+            /// when that succeeds.
+            #[test]
+            fn saturating_matches_checked(a in arb_res(), b in arb_res()) {
+                let sat = a.saturating_sub(b);
+                match a.checked_sub(b) {
+                    Some(exact) => prop_assert_eq!(sat, exact),
+                    None => {
+                        prop_assert!(sat.cpu_milli() <= a.cpu_milli());
+                        prop_assert!(sat.mem_milli() <= a.mem_milli());
+                    }
+                }
+            }
+
+            /// Serde round-trips exactly.
+            #[test]
+            fn serde_round_trip(a in arb_res()) {
+                let json = serde_json::to_string(&a).expect("serializable");
+                let back: Resources = serde_json::from_str(&json).expect("parseable");
+                prop_assert_eq!(a, back);
+            }
+        }
+    }
+}

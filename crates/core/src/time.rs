@@ -1,0 +1,108 @@
+//! The time-slotted clock of §3.
+//!
+//! The analytical model and the paper's trace-driven simulator (§6.3) are
+//! *time-slotted*: scheduling decisions happen at slot boundaries and the
+//! simulator's default slot length is 5 seconds. We keep simulation time as
+//! an integer slot counter ([`Time`]) and task lengths as integer slot
+//! counts ([`Duration`]); conversion from wall-clock seconds happens once,
+//! at workload construction, via [`SlotClock`].
+
+use serde::{Deserialize, Serialize};
+
+/// Absolute simulation time, in slots since the start of the run.
+pub type Time = u64;
+
+/// A span of simulation time, in slots.
+pub type Duration = u64;
+
+/// Converts between wall-clock seconds and integer slots.
+///
+/// ```
+/// use dollymp_core::time::SlotClock;
+/// let clock = SlotClock::new(5.0); // the paper's 5-second slots
+/// assert_eq!(clock.duration_from_secs(12.0), 3); // rounds up: 12s needs 3 slots
+/// assert_eq!(clock.duration_from_secs(0.1), 1);  // every task takes ≥ 1 slot
+/// assert!((clock.secs(3) - 15.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlotClock {
+    slot_secs: f64,
+}
+
+impl SlotClock {
+    /// A clock whose slots are `slot_secs` seconds long.
+    ///
+    /// # Panics
+    /// Panics if `slot_secs` is not strictly positive and finite.
+    pub fn new(slot_secs: f64) -> Self {
+        assert!(
+            slot_secs.is_finite() && slot_secs > 0.0,
+            "slot length must be positive, got {slot_secs}"
+        );
+        SlotClock { slot_secs }
+    }
+
+    /// The paper's default: 5-second slots (§6.3).
+    pub fn paper_default() -> Self {
+        SlotClock::new(5.0)
+    }
+
+    /// Slot length in seconds.
+    pub fn slot_secs(&self) -> f64 {
+        self.slot_secs
+    }
+
+    /// Convert a wall-clock duration to slots, rounding *up* so that no
+    /// task is shorter than one slot (a zero-length task would never
+    /// occupy resources and would break conservation accounting).
+    pub fn duration_from_secs(&self, secs: f64) -> Duration {
+        if secs <= 0.0 || secs.is_nan() || !secs.is_finite() {
+            return 1;
+        }
+        ((secs / self.slot_secs).ceil() as Duration).max(1)
+    }
+
+    /// Convert a slot count back to seconds.
+    pub fn secs(&self, slots: Duration) -> f64 {
+        slots as f64 * self.slot_secs
+    }
+}
+
+impl Default for SlotClock {
+    fn default() -> Self {
+        SlotClock::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounds_up_and_clamps_to_one_slot() {
+        let c = SlotClock::new(5.0);
+        assert_eq!(c.duration_from_secs(0.0), 1);
+        assert_eq!(c.duration_from_secs(-3.0), 1);
+        assert_eq!(c.duration_from_secs(f64::NAN), 1);
+        assert_eq!(c.duration_from_secs(5.0), 1);
+        assert_eq!(c.duration_from_secs(5.01), 2);
+    }
+
+    #[test]
+    fn seconds_round_trip() {
+        let c = SlotClock::new(2.5);
+        assert!((c.secs(4) - 10.0).abs() < 1e-12);
+        assert_eq!(c.duration_from_secs(c.secs(4)), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "slot length")]
+    fn zero_slot_length_rejected() {
+        let _ = SlotClock::new(0.0);
+    }
+
+    #[test]
+    fn paper_default_is_five_seconds() {
+        assert!((SlotClock::paper_default().slot_secs() - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,248 @@
+//! Shared placement machinery used by every scheduler implementation.
+//!
+//! Schedulers receive an immutable [`ClusterView`] and must return a
+//! self-consistent batch of assignments; [`FreeTracker`] mirrors the
+//! cluster's free resources and the per-task copy counts while the batch
+//! is being built, so a scheduler can never over-commit.
+
+use dollymp_cluster::prelude::*;
+use dollymp_core::job::TaskRef;
+use dollymp_core::online::best_fit_score;
+use dollymp_core::resources::Resources;
+use std::collections::HashMap;
+
+/// Tracks tentative resource commitments while one scheduling batch is
+/// being constructed.
+pub struct FreeTracker {
+    free: Vec<Resources>,
+    /// Extra copies committed in this batch, per task.
+    pending_copies: HashMap<TaskRef, u32>,
+}
+
+impl FreeTracker {
+    /// Snapshot the view's free resources.
+    pub fn new(view: &ClusterView<'_>) -> Self {
+        FreeTracker {
+            free: view.servers().map(|(_, _, f)| f).collect(),
+            pending_copies: HashMap::new(),
+        }
+    }
+
+    /// Remaining free resources on a server, net of this batch.
+    pub fn free(&self, s: ServerId) -> Resources {
+        self.free[s.0 as usize]
+    }
+
+    /// Total remaining free resources, net of this batch.
+    pub fn total_free(&self) -> Resources {
+        self.free.iter().copied().sum()
+    }
+
+    /// Number of servers.
+    pub fn len(&self) -> usize {
+        self.free.len()
+    }
+
+    /// True when there are no servers (never, in practice).
+    pub fn is_empty(&self) -> bool {
+        self.free.is_empty()
+    }
+
+    /// Does `demand` fit some server right now?
+    pub fn fits_anywhere(&self, demand: Resources) -> bool {
+        self.free.iter().any(|f| demand.fits_in(*f))
+    }
+
+    /// First server (by id) with room for `demand`.
+    pub fn first_fit(&self, demand: Resources) -> Option<ServerId> {
+        self.free
+            .iter()
+            .position(|f| demand.fits_in(*f))
+            .map(|i| ServerId(i as u32))
+    }
+
+    /// Server maximizing the Tetris alignment score `demand · free`
+    /// among those with room.
+    pub fn best_fit(&self, demand: Resources) -> Option<ServerId> {
+        let mut best: Option<(f64, usize)> = None;
+        for (i, f) in self.free.iter().enumerate() {
+            if !demand.fits_in(*f) {
+                continue;
+            }
+            let score = best_fit_score(demand, *f);
+            if best.map(|(b, _)| score > b).unwrap_or(true) {
+                best = Some((score, i));
+            }
+        }
+        best.map(|(_, i)| ServerId(i as u32))
+    }
+
+    /// Commit `demand` on `server`.
+    ///
+    /// # Panics
+    /// Panics if it does not fit — callers must check first.
+    pub fn commit(&mut self, server: ServerId, demand: Resources) {
+        let f = &mut self.free[server.0 as usize];
+        *f = f
+            .checked_sub(demand)
+            .expect("FreeTracker::commit without a fit check");
+    }
+
+    /// Copies of `task` live in the view **plus** committed in this batch.
+    pub fn effective_copies(&self, view: &ClusterView<'_>, task: TaskRef) -> u32 {
+        let live = view
+            .job(task.job)
+            .map(|j| j.task(task.phase, task.task).live_copies())
+            .unwrap_or(0);
+        live + self.pending_copies.get(&task).copied().unwrap_or(0)
+    }
+
+    /// Record that this batch adds one copy to `task`.
+    pub fn note_copy(&mut self, task: TaskRef) {
+        *self.pending_copies.entry(task).or_insert(0) += 1;
+    }
+}
+
+/// A ready task together with its demand (avoids re-deriving the phase
+/// spec at every comparison).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadyTask {
+    /// The task.
+    pub task: TaskRef,
+    /// Its per-copy resource demand.
+    pub demand: Resources,
+}
+
+/// Collect the ready tasks of one job.
+pub fn ready_tasks_of(job: &JobState) -> Vec<ReadyTask> {
+    job.ready_tasks()
+        .into_iter()
+        .map(|task| ReadyTask {
+            task,
+            demand: job.spec().phase(task.phase).demand,
+        })
+        .collect()
+}
+
+/// Greedy work-conserving pass: walk jobs in the given order and place
+/// every ready task that fits (first-fit). Returns the assignments and
+/// updates `free`. The workhorse of the FIFO/SRPT/SVF family.
+pub fn place_in_job_order(
+    view: &ClusterView<'_>,
+    order: &[dollymp_core::job::JobId],
+    free: &mut FreeTracker,
+) -> Vec<Assignment> {
+    let mut out = Vec::new();
+    for &jid in order {
+        let Some(job) = view.job(jid) else { continue };
+        for rt in ready_tasks_of(job) {
+            if let Some(server) = free.first_fit(rt.demand) {
+                free.commit(server, rt.demand);
+                free.note_copy(rt.task);
+                out.push(Assignment {
+                    task: rt.task,
+                    server,
+                    kind: CopyKind::Primary,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dollymp_cluster::engine::{simulate, EngineConfig};
+    use dollymp_core::job::{JobId, JobSpec};
+
+    /// FreeTracker logic is exercised through a scheduler that uses it;
+    /// the pure parts are tested here via a synthetic run.
+    struct Probe {
+        observed_fit: bool,
+    }
+    impl Scheduler for Probe {
+        fn name(&self) -> String {
+            "probe".into()
+        }
+        fn schedule(&mut self, view: &ClusterView<'_>) -> Vec<Assignment> {
+            let mut free = FreeTracker::new(view);
+            assert_eq!(free.len(), 2);
+            let order: Vec<JobId> = view.jobs().map(|j| j.id()).collect();
+            let batch = place_in_job_order(view, &order, &mut free);
+            // After placing a full-server task, that server is exhausted.
+            if !batch.is_empty() {
+                self.observed_fit = true;
+                assert!(free.free(batch[0].server).is_zero() || !free.is_empty());
+            }
+            batch
+        }
+    }
+
+    #[test]
+    fn place_in_job_order_is_work_conserving() {
+        let cluster = ClusterSpec::homogeneous(2, 2.0, 2.0);
+        let jobs: Vec<JobSpec> = (0..4)
+            .map(|i| JobSpec::single_phase(JobId(i), 1, Resources::new(2.0, 2.0), 3.0, 0.0))
+            .collect();
+        let sampler = DurationSampler::new(1, StragglerModel::Deterministic);
+        let mut p = Probe {
+            observed_fit: false,
+        };
+        let r = simulate(&cluster, jobs, &sampler, &mut p, &EngineConfig::default());
+        assert!(p.observed_fit);
+        // 4 single-server jobs on 2 servers: two waves of 3 slots.
+        assert_eq!(r.makespan, 6);
+        assert_eq!(r.total_flowtime(), 3 + 3 + 6 + 6);
+    }
+
+    #[test]
+    fn best_fit_prefers_fuller_alignment() {
+        // Construct through a probe: a CPU-heavy task must land on the
+        // CPU-rich server under best_fit.
+        struct BestFitProbe;
+        impl Scheduler for BestFitProbe {
+            fn name(&self) -> String {
+                "bf".into()
+            }
+            fn schedule(&mut self, view: &ClusterView<'_>) -> Vec<Assignment> {
+                let mut free = FreeTracker::new(view);
+                let mut out = Vec::new();
+                for job in view.jobs() {
+                    for rt in ready_tasks_of(job) {
+                        if let Some(s) = free.best_fit(rt.demand) {
+                            free.commit(s, rt.demand);
+                            out.push(Assignment {
+                                task: rt.task,
+                                server: s,
+                                kind: CopyKind::Primary,
+                            });
+                        }
+                    }
+                }
+                out
+            }
+        }
+        let cluster = ClusterSpec::new(vec![
+            ServerSpec::new(2.0, 16.0), // memory-rich
+            ServerSpec::new(16.0, 2.0), // CPU-rich
+        ]);
+        let job = JobSpec::single_phase(JobId(0), 1, Resources::new(2.0, 1.0), 3.0, 0.0);
+        let sampler = DurationSampler::new(1, StragglerModel::Deterministic);
+        let r = simulate(
+            &cluster,
+            vec![job],
+            &sampler,
+            &mut BestFitProbe,
+            &EngineConfig::default(),
+        );
+        assert_eq!(r.jobs.len(), 1);
+        // Can't observe the server from the report directly, but the run
+        // completing proves the placement was valid; the alignment choice
+        // itself is asserted below on the pure function.
+        let cpu_heavy = Resources::new(2.0, 1.0);
+        let a = dollymp_core::online::best_fit_score(cpu_heavy, Resources::new(16.0, 2.0));
+        let b = dollymp_core::online::best_fit_score(cpu_heavy, Resources::new(2.0, 16.0));
+        assert!(a > b);
+    }
+}

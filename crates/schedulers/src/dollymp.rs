@@ -1,0 +1,554 @@
+//! The DollyMP scheduler — Algorithm 2 of the paper.
+//!
+//! On every job arrival, the priorities of *all* unfinished jobs are
+//! recomputed by the transient Algorithm 1 over their remaining volumes
+//! and critical paths (Eq. 16/17); between arrivals the order is frozen
+//! (§5: "the scheduling order of all jobs in the cluster won't be updated
+//! until the next job arrival").
+//!
+//! At each decision point the scheduler then:
+//!
+//! 1. **Primary pass** — per server, repeatedly pick the highest-priority
+//!    level that has a fitting ready task and, within the level, the task
+//!    with the best Tetris alignment (`R·c` inner product, Algorithm 2
+//!    step 12);
+//! 2. **Clone passes** — with the leftover resources, walk tasks of jobs
+//!    in the same priority order and give each *running* task of a
+//!    clone-eligible (small, §4.1-gated) job up to
+//!    `max_copies − 1` extra copies; the pass is repeated twice, mirroring
+//!    Algorithm 2's "Repeat Step 9 twice".
+
+use crate::common::{ready_tasks_of, FreeTracker, ReadyTask};
+use dollymp_cluster::prelude::*;
+use dollymp_core::job::JobId;
+use dollymp_core::online::{best_fit_score, ClonePolicy, PriorityTable};
+use dollymp_core::resources::Resources;
+use dollymp_core::transient::{transient_schedule, TransientConfig, TransientJob};
+
+/// The DollyMP scheduler (Algorithm 2). `DollyMP::with_clones(r)` builds
+/// the paper's DollyMP^r variants.
+#[derive(Debug, Clone)]
+pub struct DollyMP {
+    /// Algorithm 1 configuration (σ-weight `w = 1.5` by default).
+    pub transient: TransientConfig,
+    /// Cloning budget and §4.1 small-job gate.
+    pub clone_policy: ClonePolicy,
+    table: PriorityTable,
+}
+
+impl DollyMP {
+    /// DollyMP with the paper's defaults (two clones, `δ = 0.3`,
+    /// `w = 1.5`) — the DollyMP² configuration.
+    pub fn new() -> Self {
+        DollyMP::with_clones(2)
+    }
+
+    /// DollyMP^r: at most `clones` extra copies per task.
+    pub fn with_clones(clones: u32) -> Self {
+        let clone_policy = if clones == 0 {
+            ClonePolicy::disabled()
+        } else {
+            ClonePolicy::with_clones(clones)
+        };
+        DollyMP {
+            transient: TransientConfig {
+                max_copies: clones + 1,
+                ..TransientConfig::default()
+            },
+            clone_policy,
+            table: PriorityTable::default(),
+        }
+    }
+
+    /// Override the §4.1 small-job gate `δ`.
+    pub fn with_delta(mut self, delta: f64) -> Self {
+        self.clone_policy.delta = delta;
+        self
+    }
+
+    /// Override the σ-weight of effective processing times.
+    pub fn with_sigma_weight(mut self, w: f64) -> Self {
+        self.transient.sigma_weight = w;
+        self
+    }
+
+    fn refresh_priorities(&mut self, view: &ClusterView<'_>) {
+        let totals = view.totals();
+        let w = self.transient.sigma_weight;
+        let inputs: Vec<TransientJob> = view
+            .jobs()
+            .map(|j| {
+                TransientJob::from_remaining(
+                    j.spec(),
+                    &j.remaining_tasks(),
+                    &j.finished_phases(),
+                    totals,
+                    w,
+                )
+            })
+            .collect();
+        let out = transient_schedule(&inputs, &self.transient);
+        self.table = PriorityTable::from_output(&inputs, &out);
+    }
+
+    /// Jobs grouped by ascending priority level.
+    fn priority_groups(&self, view: &ClusterView<'_>) -> Vec<(u32, Vec<JobId>)> {
+        self.table.grouped(view.jobs().map(|j| j.id()))
+    }
+
+    /// The primary placement pass (Algorithm 2 steps 6–15).
+    ///
+    /// Tasks of one phase are statistically identical, so candidates are
+    /// *bucketed* by (job, phase): the per-server best-fit argmax scans
+    /// one entry per distinct demand instead of one per task, which is
+    /// what keeps a full pass over 30 000 servers within the paper's
+    /// §6.3.3 overhead budget.
+    fn place_primaries(
+        &self,
+        view: &ClusterView<'_>,
+        groups: &[(u32, Vec<JobId>)],
+        server_order: &[ServerId],
+        free: &mut FreeTracker,
+    ) -> Vec<Assignment> {
+        let mut out = Vec::new();
+        // Flat bucket store (one bucket per (job, demand)), indexed per
+        // priority group, so the hot argmax loop below is pure array
+        // traversal with no hashing.
+        let mut flat: Vec<(Resources, Vec<ReadyTask>)> = Vec::new();
+        let mut job_buckets: std::collections::HashMap<JobId, (usize, usize)> =
+            std::collections::HashMap::new();
+        let mut ready_count: usize = 0;
+        let mut min_demand: Option<Resources> = None;
+        for j in view.jobs() {
+            let tasks = ready_tasks_of(j);
+            if tasks.is_empty() {
+                continue;
+            }
+            ready_count += tasks.len();
+            let start = flat.len();
+            for rt in tasks {
+                min_demand = Some(match min_demand {
+                    Some(m) => m.min(rt.demand),
+                    None => rt.demand,
+                });
+                match flat[start..].iter_mut().find(|(d, _)| *d == rt.demand) {
+                    Some((_, v)) => v.push(rt),
+                    None => flat.push((rt.demand, vec![rt])),
+                }
+            }
+            job_buckets.insert(j.id(), (start, flat.len()));
+        }
+        if ready_count == 0 {
+            return out;
+        }
+        let min_demand = min_demand.expect("ready_count > 0");
+        // Bucket index ranges per priority group, in group order.
+        let group_ranges: Vec<Vec<(usize, usize)>> = groups
+            .iter()
+            .map(|(_, members)| {
+                members
+                    .iter()
+                    .filter_map(|jid| job_buckets.get(jid).copied())
+                    .collect()
+            })
+            .collect();
+
+        for &server in server_order {
+            'server: loop {
+                let avail = free.free(server);
+                // Component-wise lower bound: if even the smallest demand
+                // cannot fit, nothing can — skip this server instantly.
+                if !min_demand.fits_in(avail) {
+                    break;
+                }
+                // Highest-priority level with a fitting task; within the
+                // level, the best-aligned demand bucket (step 12).
+                for ranges in &group_ranges {
+                    let mut best: Option<(f64, usize)> = None;
+                    for &(lo, hi) in ranges {
+                        for (idx, (demand, tasks)) in flat[lo..hi].iter().enumerate() {
+                            if tasks.is_empty() || !demand.fits_in(avail) {
+                                continue;
+                            }
+                            let score = best_fit_score(*demand, avail);
+                            if best.map(|(b, _)| score > b).unwrap_or(true) {
+                                best = Some((score, lo + idx));
+                            }
+                        }
+                    }
+                    if let Some((_, idx)) = best {
+                        let rt = flat[idx].1.pop().expect("non-empty bucket");
+                        free.commit(server, rt.demand);
+                        free.note_copy(rt.task);
+                        out.push(Assignment {
+                            task: rt.task,
+                            server,
+                            kind: CopyKind::Primary,
+                        });
+                        ready_count -= 1;
+                        if ready_count == 0 {
+                            return out;
+                        }
+                        continue 'server;
+                    }
+                }
+                break;
+            }
+        }
+        out
+    }
+
+    /// One clone pass over leftover resources (Algorithm 2 step 16).
+    ///
+    /// Clone candidates are the tasks already running in the view *plus*
+    /// the primaries placed earlier in this very batch (`newly_placed`) —
+    /// the paper clones small jobs "when they are scheduled" (Fig. 2), not
+    /// one decision point later.
+    fn place_clones(
+        &self,
+        view: &ClusterView<'_>,
+        groups: &[(u32, Vec<JobId>)],
+        newly_placed: &std::collections::HashMap<JobId, Vec<dollymp_core::job::TaskRef>>,
+        cloned_this_batch: &mut std::collections::HashSet<dollymp_core::job::TaskRef>,
+        server_order: &[ServerId],
+        free: &mut FreeTracker,
+    ) -> Vec<Assignment> {
+        if self.clone_policy.max_copies <= 1 {
+            return Vec::new();
+        }
+        let w = self.transient.sigma_weight;
+        let mut out = Vec::new();
+        // Remaining volumes, computed once per pass (the §4.1 gate needs
+        // every job's volume against the sum of the others'; recomputing
+        // per candidate would make this pass quadratic).
+        let totals = view.totals();
+        let volumes: std::collections::HashMap<JobId, f64> = view
+            .jobs()
+            .map(|j| (j.id(), j.remaining_volume(totals, w)))
+            .collect();
+        let total_volume: f64 = volumes.values().sum();
+        // Clone requests in priority order; placed server-driven below.
+        let mut queue: Vec<(dollymp_core::job::TaskRef, Resources)> = Vec::new();
+        for (_, members) in groups {
+            for &jid in members {
+                let Some(job) = view.job(jid) else { continue };
+                // §4.1 small-job gate.
+                let mine = volumes.get(&jid).copied().unwrap_or(0.0);
+                let others = (total_volume - mine).max(0.0);
+                if !self.clone_policy.small_job_gate(mine, others) {
+                    continue;
+                }
+                let mut candidates = job.running_tasks();
+                if let Some(extra) = newly_placed.get(&jid) {
+                    candidates.extend(extra.iter().copied());
+                }
+                for task in candidates {
+                    if free.effective_copies(view, task) >= self.clone_policy.max_copies {
+                        continue;
+                    }
+                    // At most one new clone per task per decision point:
+                    // the RM grants clone containers round by round
+                    // ("repeat Step 9" spans allocation rounds, not one
+                    // batch), so a task's second clone can only arrive at
+                    // a later decision point.
+                    if cloned_this_batch.contains(&task) {
+                        continue;
+                    }
+                    let demand = job.spec().phase(task.phase).demand;
+                    queue.push((task, demand));
+                }
+            }
+        }
+        if queue.is_empty() {
+            return out;
+        }
+
+        // Server-driven placement (the RM hands leftover capacity to
+        // clone requests as heartbeats come in): walk servers in order and
+        // satisfy the queue in priority order. A global min-demand bound
+        // skips exhausted servers in O(1).
+        let min_demand = queue
+            .iter()
+            .map(|&(_, d)| d)
+            .reduce(|a, b| a.min(b))
+            .expect("non-empty queue");
+        for &server in server_order {
+            if queue.is_empty() {
+                break;
+            }
+            if !min_demand.fits_in(free.free(server)) {
+                continue;
+            }
+            let mut i = 0;
+            while i < queue.len() {
+                let (task, demand) = queue[i];
+                if demand.fits_in(free.free(server)) {
+                    free.commit(server, demand);
+                    free.note_copy(task);
+                    cloned_this_batch.insert(task);
+                    out.push(Assignment {
+                        task,
+                        server,
+                        kind: CopyKind::Clone,
+                    });
+                    queue.remove(i);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Default for DollyMP {
+    fn default() -> Self {
+        DollyMP::new()
+    }
+}
+
+impl Scheduler for DollyMP {
+    fn name(&self) -> String {
+        format!("dollymp{}", self.clone_policy.max_copies - 1)
+    }
+
+    fn on_job_arrival(&mut self, view: &ClusterView<'_>, _job: JobId) {
+        self.refresh_priorities(view);
+    }
+
+    fn on_job_finish(&mut self, job: &dollymp_cluster::state::JobState) {
+        self.table.remove(job.id());
+    }
+
+    fn schedule(&mut self, view: &ClusterView<'_>) -> Vec<Assignment> {
+        let order: Vec<ServerId> = (0..view.cluster().len() as u32).map(ServerId).collect();
+        self.schedule_with_server_order(view, &order)
+    }
+}
+
+impl DollyMP {
+    /// Run one full Algorithm 2 pass visiting servers in the given order
+    /// — the hook the `learned` extension uses to prefer fast machines.
+    /// `schedule` calls this with the identity order.
+    pub fn schedule_with_server_order(
+        &mut self,
+        view: &ClusterView<'_>,
+        server_order: &[ServerId],
+    ) -> Vec<Assignment> {
+        let groups = self.priority_groups(view);
+        let mut free = FreeTracker::new(view);
+        let batch = self.place_primaries(view, &groups, server_order, &mut free);
+        let mut newly_placed: std::collections::HashMap<JobId, Vec<dollymp_core::job::TaskRef>> =
+            std::collections::HashMap::new();
+        for a in &batch {
+            newly_placed.entry(a.task.job).or_default().push(a.task);
+        }
+        let mut batch = batch;
+        // "Repeat Step 9 twice if there are available resources" — but at
+        // most one *new* clone per task per decision point (clone
+        // containers are granted round by round).
+        let mut cloned_this_batch = std::collections::HashSet::new();
+        for _ in 0..2 {
+            let clones = self.place_clones(
+                view,
+                &groups,
+                &newly_placed,
+                &mut cloned_this_batch,
+                server_order,
+                &mut free,
+            );
+            if clones.is_empty() {
+                break;
+            }
+            batch.extend(clones);
+        }
+        batch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dollymp_cluster::engine::{simulate, EngineConfig};
+    use dollymp_core::job::JobSpec;
+    use dollymp_core::resources::Resources;
+
+    fn det_sampler() -> DurationSampler {
+        DurationSampler::new(7, StragglerModel::Deterministic)
+    }
+
+    #[test]
+    fn names_encode_clone_budget() {
+        assert_eq!(DollyMP::with_clones(0).name(), "dollymp0");
+        assert_eq!(DollyMP::with_clones(1).name(), "dollymp1");
+        assert_eq!(DollyMP::new().name(), "dollymp2");
+    }
+
+    #[test]
+    fn completes_a_simple_workload() {
+        let cluster = ClusterSpec::homogeneous(2, 4.0, 8.0);
+        let jobs: Vec<JobSpec> = (0..5)
+            .map(|i| JobSpec::single_phase(JobId(i), 2, Resources::new(1.0, 2.0), 6.0, 2.0))
+            .collect();
+        let mut s = DollyMP::new();
+        let sampler = DurationSampler::new(3, StragglerModel::ParetoFit);
+        let r = simulate(&cluster, jobs, &sampler, &mut s, &EngineConfig::default());
+        assert_eq!(r.jobs.len(), 5);
+        assert!(r.total_flowtime() > 0);
+    }
+
+    #[test]
+    fn prioritizes_small_jobs_over_large() {
+        // One server; a long fat job (id 0) and a short thin job (id 1)
+        // arriving together. DollyMP must run the small one first.
+        let cluster = ClusterSpec::homogeneous(1, 1.0, 1.0);
+        let big = JobSpec::single_phase(JobId(0), 1, Resources::new(1.0, 1.0), 50.0, 0.0);
+        let small = JobSpec::single_phase(JobId(1), 1, Resources::new(1.0, 1.0), 2.0, 0.0);
+        let mut s = DollyMP::with_clones(0);
+        let r = simulate(
+            &cluster,
+            vec![big, small],
+            &det_sampler(),
+            &mut s,
+            &EngineConfig::default(),
+        );
+        let by_id = r.by_id();
+        assert_eq!(by_id[&JobId(1)].flowtime, 2, "small job first");
+        assert_eq!(by_id[&JobId(0)].flowtime, 52);
+    }
+
+    #[test]
+    fn clones_when_idle_resources_exist() {
+        // Heterogeneous speeds: primary may land on the slow server; the
+        // clone pass must exploit the idle fast server.
+        let cluster = ClusterSpec::new(vec![
+            ServerSpec::new(1.0, 1.0).with_speed(0.25),
+            ServerSpec::new(1.0, 1.0).with_speed(1.0),
+        ]);
+        let job = JobSpec::single_phase(JobId(0), 1, Resources::new(1.0, 1.0), 8.0, 0.0);
+        let mut s = DollyMP::new();
+        let r = simulate(
+            &cluster,
+            vec![job],
+            &det_sampler(),
+            &mut s,
+            &EngineConfig::default(),
+        );
+        let m = &r.jobs[0];
+        assert_eq!(m.clone_copies, 1, "one clone on the idle server");
+        // Primary lands on the fast server (best fit tie → both equal →
+        // server order favors 0? free is identical; score ties → first
+        // seen wins, i.e. server 0, the slow one at 32 slots; the clone on
+        // server 1 takes 8 slots and wins.
+        assert_eq!(m.flowtime, 8);
+    }
+
+    #[test]
+    fn dollymp0_never_clones() {
+        let cluster = ClusterSpec::homogeneous(4, 4.0, 4.0);
+        let jobs: Vec<JobSpec> = (0..3)
+            .map(|i| JobSpec::single_phase(JobId(i), 2, Resources::new(1.0, 1.0), 5.0, 3.0))
+            .collect();
+        let mut s = DollyMP::with_clones(0);
+        let sampler = DurationSampler::new(5, StragglerModel::ParetoFit);
+        let r = simulate(&cluster, jobs, &sampler, &mut s, &EngineConfig::default());
+        assert!(r.jobs.iter().all(|j| j.clone_copies == 0));
+    }
+
+    #[test]
+    fn clone_budget_respected() {
+        // Plenty of idle capacity: DollyMP¹ must cap at 1 clone per task.
+        let cluster = ClusterSpec::homogeneous(8, 4.0, 4.0);
+        let job = JobSpec::single_phase(JobId(0), 2, Resources::new(1.0, 1.0), 10.0, 5.0);
+        let sampler = DurationSampler::new(11, StragglerModel::ParetoFit);
+        let mut s1 = DollyMP::with_clones(1);
+        let r1 = simulate(
+            &cluster,
+            vec![job.clone()],
+            &sampler,
+            &mut s1,
+            &EngineConfig::default(),
+        );
+        assert!(r1.jobs[0].clone_copies <= 2, "≤ 1 clone × 2 tasks");
+        assert!(
+            r1.jobs[0].clone_copies >= 1,
+            "idle cluster → clones expected"
+        );
+        let mut s2 = DollyMP::new();
+        let r2 = simulate(
+            &cluster,
+            vec![job],
+            &sampler,
+            &mut s2,
+            &EngineConfig::default(),
+        );
+        assert!(r2.jobs[0].clone_copies <= 4, "≤ 2 clones × 2 tasks");
+        assert!(r2.jobs[0].clone_copies >= r1.jobs[0].clone_copies);
+    }
+
+    #[test]
+    fn large_jobs_are_not_cloned_while_backlog_exists() {
+        // Two equal big jobs with idle servers to spare: while BOTH are
+        // active, neither passes the δ = 0.3 small-job gate (each equals
+        // the other's backlog), so the job finishing first must have zero
+        // clones. Once it completes, the survivor runs alone (no backlog)
+        // and may legitimately be cloned.
+        let cluster = ClusterSpec::homogeneous(4, 1.0, 1.0);
+        let jobs: Vec<JobSpec> = (0..2)
+            .map(|i| JobSpec::single_phase(JobId(i), 1, Resources::new(1.0, 1.0), 20.0, 8.0))
+            .collect();
+        let sampler = DurationSampler::new(13, StragglerModel::ParetoFit);
+        let mut s = DollyMP::new();
+        let r = simulate(&cluster, jobs, &sampler, &mut s, &EngineConfig::default());
+        let first_finisher = r
+            .jobs
+            .iter()
+            .min_by_key(|j| (j.finish, j.id))
+            .expect("two jobs ran");
+        assert_eq!(
+            first_finisher.clone_copies, 0,
+            "no clones while the equal-size backlog existed"
+        );
+    }
+
+    #[test]
+    fn beats_fifo_on_mixed_sizes() {
+        // The headline behaviour: on a mix of small and large jobs with
+        // stragglers, DollyMP² must achieve lower total flowtime than
+        // FIFO first-fit.
+        let cluster = ClusterSpec::paper_30_node();
+        let mut jobs = Vec::new();
+        for i in 0..30u64 {
+            let (n, theta) = if i % 3 == 0 { (20, 40.0) } else { (4, 8.0) };
+            jobs.push(
+                JobSpec::builder(JobId(i))
+                    .arrival(i * 2)
+                    .phase(dollymp_core::job::PhaseSpec::new(
+                        n,
+                        Resources::new(2.0, 4.0),
+                        theta,
+                        theta / 2.0,
+                    ))
+                    .build()
+                    .unwrap(),
+            );
+        }
+        let sampler = DurationSampler::new(17, StragglerModel::ParetoFit);
+        let mut fifo = FifoFirstFit;
+        let r_fifo = simulate(
+            &cluster,
+            jobs.clone(),
+            &sampler,
+            &mut fifo,
+            &EngineConfig::default(),
+        );
+        let mut dmp = DollyMP::new();
+        let r_dmp = simulate(&cluster, jobs, &sampler, &mut dmp, &EngineConfig::default());
+        assert!(
+            r_dmp.total_flowtime() < r_fifo.total_flowtime(),
+            "DollyMP {} ≥ FIFO {}",
+            r_dmp.total_flowtime(),
+            r_fifo.total_flowtime()
+        );
+    }
+}

@@ -1,0 +1,161 @@
+//! The classical priority baselines of §4.2: **SRPT** (shortest remaining
+//! processing time first) and **SVF** (smallest volume first).
+//!
+//! Both are list schedulers: jobs are ranked by a scalar, then every ready
+//! task is placed first-fit in that order. The paper's §4.2 discusses why
+//! each is individually insufficient — SRPT fragments multi-dimensional
+//! resources, SVF starves large-demand jobs — which is what Algorithm 1's
+//! knapsack combination fixes.
+
+use crate::common::{place_in_job_order, FreeTracker};
+use dollymp_cluster::prelude::*;
+use dollymp_core::job::JobId;
+
+/// How a priority baseline ranks jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rank {
+    /// Remaining critical-path processing time (SRPT).
+    RemainingTime,
+    /// Remaining effective volume (SVF, Eq. 10/16 with `w = 0`).
+    RemainingVolume,
+}
+
+/// A rank-then-first-fit list scheduler.
+#[derive(Debug, Clone)]
+pub struct PriorityScheduler {
+    rank: Rank,
+}
+
+impl PriorityScheduler {
+    /// Shortest Remaining Processing Time first.
+    pub fn srpt() -> Self {
+        PriorityScheduler {
+            rank: Rank::RemainingTime,
+        }
+    }
+
+    /// Smallest Volume First.
+    pub fn svf() -> Self {
+        PriorityScheduler {
+            rank: Rank::RemainingVolume,
+        }
+    }
+
+    fn key(&self, view: &ClusterView<'_>, job: &JobState) -> f64 {
+        match self.rank {
+            Rank::RemainingTime => job.remaining_etime(0.0),
+            Rank::RemainingVolume => job.remaining_volume(view.totals(), 0.0),
+        }
+    }
+}
+
+impl Scheduler for PriorityScheduler {
+    fn name(&self) -> String {
+        match self.rank {
+            Rank::RemainingTime => "srpt".into(),
+            Rank::RemainingVolume => "svf".into(),
+        }
+    }
+
+    fn schedule(&mut self, view: &ClusterView<'_>) -> Vec<Assignment> {
+        let mut ranked: Vec<(f64, JobId)> =
+            view.jobs().map(|j| (self.key(view, j), j.id())).collect();
+        ranked.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let order: Vec<JobId> = ranked.into_iter().map(|(_, id)| id).collect();
+        let mut free = FreeTracker::new(view);
+        place_in_job_order(view, &order, &mut free)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dollymp_cluster::engine::{simulate, EngineConfig};
+    use dollymp_core::job::JobSpec;
+    use dollymp_core::resources::Resources;
+
+    fn det() -> DurationSampler {
+        DurationSampler::new(1, StragglerModel::Deterministic)
+    }
+
+    #[test]
+    fn srpt_runs_the_short_job_first() {
+        let cluster = ClusterSpec::homogeneous(1, 1.0, 1.0);
+        let long = JobSpec::single_phase(JobId(0), 1, Resources::new(1.0, 1.0), 30.0, 0.0);
+        let short = JobSpec::single_phase(JobId(1), 1, Resources::new(1.0, 1.0), 3.0, 0.0);
+        let mut s = PriorityScheduler::srpt();
+        let r = simulate(
+            &cluster,
+            vec![long, short],
+            &det(),
+            &mut s,
+            &EngineConfig::default(),
+        );
+        let by_id = r.by_id();
+        assert_eq!(by_id[&JobId(1)].flowtime, 3);
+        assert_eq!(by_id[&JobId(0)].flowtime, 33);
+    }
+
+    #[test]
+    fn svf_weighs_demand_not_just_time() {
+        // Job 0: short but fat (t=4, d=1.0 → v=0.4 on a 10-unit cluster).
+        // Job 1: longer but thin (t=6, d=0.1 → v=0.06).
+        // SRPT runs job 0 first; SVF runs job 1 first.
+        let cluster = ClusterSpec::homogeneous(1, 10.0, 10.0);
+        let fat = JobSpec::single_phase(JobId(0), 1, Resources::new(10.0, 10.0), 4.0, 0.0);
+        let thin = JobSpec::single_phase(JobId(1), 1, Resources::new(1.0, 1.0), 6.0, 0.0);
+
+        let mut svf = PriorityScheduler::svf();
+        let r = simulate(
+            &cluster,
+            vec![fat.clone(), thin.clone()],
+            &det(),
+            &mut svf,
+            &EngineConfig::default(),
+        );
+        let by_id = r.by_id();
+        // SVF: thin job starts immediately; fat job can't coexist (needs
+        // the full cluster) so it waits 6 slots.
+        assert_eq!(by_id[&JobId(1)].flowtime, 6);
+        assert_eq!(by_id[&JobId(0)].flowtime, 10);
+
+        let mut srpt = PriorityScheduler::srpt();
+        let r = simulate(
+            &cluster,
+            vec![fat, thin],
+            &det(),
+            &mut srpt,
+            &EngineConfig::default(),
+        );
+        let by_id = r.by_id();
+        // SRPT: fat (shorter) job first; thin waits…? Thin fits alongside
+        // nothing (fat takes all), so thin runs after: flow 4 then 4+6.
+        assert_eq!(by_id[&JobId(0)].flowtime, 4);
+        assert_eq!(by_id[&JobId(1)].flowtime, 10);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(PriorityScheduler::srpt().name(), "srpt");
+        assert_eq!(PriorityScheduler::svf().name(), "svf");
+    }
+
+    #[test]
+    fn neither_clones() {
+        let cluster = ClusterSpec::homogeneous(4, 4.0, 4.0);
+        let jobs: Vec<JobSpec> = (0..2)
+            .map(|i| JobSpec::single_phase(JobId(i), 2, Resources::new(1.0, 1.0), 5.0, 2.0))
+            .collect();
+        let sampler = DurationSampler::new(2, StragglerModel::ParetoFit);
+        for mut s in [PriorityScheduler::srpt(), PriorityScheduler::svf()] {
+            let r = simulate(
+                &cluster,
+                jobs.clone(),
+                &sampler,
+                &mut s,
+                &EngineConfig::default(),
+            );
+            assert!(r.jobs.iter().all(|j| j.clone_copies == 0));
+        }
+    }
+}

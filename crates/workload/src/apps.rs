@@ -1,0 +1,160 @@
+//! Application job models: **WordCount** and **PageRank**, the two
+//! applications of the paper's deployment workload (§6.2).
+//!
+//! The paper characterizes jobs only through their phase structure and
+//! task statistics, so these models expose exactly that:
+//!
+//! * WordCount — a classic two-phase MapReduce job: one map task per
+//!   input block, a reduce phase a quarter the size.
+//! * PageRank — an iterative job: a load phase, `iterations` compute
+//!   phases in a chain, and a small finalize phase.
+//!
+//! All durations are in slots (5-second slots by default); per-job
+//! jitter is derived deterministically from `(seed, job id)` so a
+//! workload is reproducible and identical across schedulers.
+
+use dollymp_core::job::{JobId, JobSpec, PhaseSpec};
+use dollymp_core::resources::Resources;
+use dollymp_core::time::Time;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Map tasks per GB of input (≈ one task per 128 MB block).
+const MAP_TASKS_PER_GB: f64 = 8.0;
+
+/// Deterministic per-job jitter factor in `[1−j, 1+j]`.
+fn jitter(rng: &mut SmallRng, j: f64) -> f64 {
+    1.0 + rng.gen_range(-j..=j)
+}
+
+/// Build a WordCount job.
+///
+/// * `input_gb` — input data size; task count scales linearly.
+/// * `arrival` — arrival slot.
+/// * `seed` — workload seed (mixed with the job id for jitter).
+///
+/// ```
+/// use dollymp_workload::apps::wordcount;
+/// use dollymp_core::job::JobId;
+/// let j = wordcount(JobId(1), 0, 4.0, 42);
+/// assert_eq!(j.num_phases(), 2);
+/// assert!(j.total_tasks() >= 8 * 4 / 2); // ≈ 8 maps/GB + reduces
+/// assert_eq!(j.label, "wordcount");
+/// ```
+pub fn wordcount(id: JobId, arrival: Time, input_gb: f64, seed: u64) -> JobSpec {
+    let mut rng = SmallRng::seed_from_u64(seed ^ id.0.wrapping_mul(0x9E3779B97F4A7C15));
+    let maps = ((input_gb * MAP_TASKS_PER_GB).round() as u32).max(1);
+    let reduces = (maps / 4).max(1);
+    let theta_map = 10.0 * jitter(&mut rng, 0.2);
+    let theta_red = 16.0 * jitter(&mut rng, 0.2);
+    JobSpec::builder(id)
+        .arrival(arrival)
+        .label("wordcount")
+        .phase(PhaseSpec::new(
+            maps,
+            Resources::new(1.0, 2.0),
+            theta_map,
+            0.4 * theta_map,
+        ))
+        .phase(
+            PhaseSpec::new(
+                reduces,
+                Resources::new(1.0, 4.0),
+                theta_red,
+                0.4 * theta_red,
+            )
+            .with_parents(vec![dollymp_core::job::PhaseId(0)]),
+        )
+        .build()
+        .expect("wordcount is a valid 2-phase chain")
+}
+
+/// Build a PageRank job with the given number of iterations.
+///
+/// The DAG is a chain: load → iterate × `iterations` → finalize.
+///
+/// ```
+/// use dollymp_workload::apps::pagerank;
+/// use dollymp_core::job::JobId;
+/// let j = pagerank(JobId(2), 10, 10.0, 3, 42);
+/// assert_eq!(j.num_phases(), 5); // load + 3 iterations + finalize
+/// assert_eq!(j.label, "pagerank");
+/// assert_eq!(j.arrival, 10);
+/// ```
+pub fn pagerank(id: JobId, arrival: Time, input_gb: f64, iterations: u32, seed: u64) -> JobSpec {
+    let mut rng = SmallRng::seed_from_u64(seed ^ id.0.wrapping_mul(0xD6E8FEB86659FD93));
+    let width = ((input_gb * 6.0).round() as u32).max(1);
+    let mut b = JobSpec::builder(id).arrival(arrival).label("pagerank");
+    let load_theta = 10.0 * jitter(&mut rng, 0.2);
+    b = b.phase(PhaseSpec::new(
+        width,
+        Resources::new(1.0, 3.0),
+        load_theta,
+        0.4 * load_theta,
+    ));
+    for i in 0..iterations.max(1) {
+        let theta = 8.0 * jitter(&mut rng, 0.2);
+        b = b.phase(
+            PhaseSpec::new(width, Resources::new(2.0, 2.0), theta, 0.5 * theta)
+                .with_parents(vec![dollymp_core::job::PhaseId(i)]),
+        );
+    }
+    let fin_theta = 6.0 * jitter(&mut rng, 0.2);
+    b = b.phase(
+        PhaseSpec::new(
+            (width / 4).max(1),
+            Resources::new(1.0, 2.0),
+            fin_theta,
+            0.3 * fin_theta,
+        )
+        .with_parents(vec![dollymp_core::job::PhaseId(iterations.max(1))]),
+    );
+    b.build().expect("pagerank is a valid chain")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wordcount_scales_with_input() {
+        let small = wordcount(JobId(0), 0, 1.0, 1);
+        let big = wordcount(JobId(0), 0, 10.0, 1);
+        assert!(big.total_tasks() > 5 * small.total_tasks());
+        assert_eq!(small.phases()[0].ntasks, 8);
+        assert_eq!(small.phases()[1].ntasks, 2);
+    }
+
+    #[test]
+    fn wordcount_is_deterministic_per_seed_and_id() {
+        assert_eq!(
+            wordcount(JobId(3), 0, 4.0, 7),
+            wordcount(JobId(3), 0, 4.0, 7)
+        );
+        assert_ne!(
+            wordcount(JobId(3), 0, 4.0, 7).phases()[0].theta,
+            wordcount(JobId(4), 0, 4.0, 7).phases()[0].theta
+        );
+    }
+
+    #[test]
+    fn pagerank_chain_structure() {
+        let j = pagerank(JobId(1), 0, 1.0, 4, 9);
+        assert_eq!(j.num_phases(), 6);
+        // Every non-root phase depends on exactly the previous one.
+        for (i, p) in j.phases().iter().enumerate().skip(1) {
+            assert_eq!(p.parents, vec![dollymp_core::job::PhaseId(i as u32 - 1)]);
+        }
+        // Critical path covers all phases.
+        let e: f64 = j.phases().iter().map(|p| p.effective_time(0.0)).sum();
+        assert!((j.effective_time(0.0) - e).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tiny_inputs_still_valid() {
+        let j = wordcount(JobId(0), 0, 0.01, 1);
+        assert!(j.total_tasks() >= 2);
+        let p = pagerank(JobId(0), 0, 0.01, 0, 1);
+        assert!(p.num_phases() >= 3, "iterations clamped to ≥ 1");
+    }
+}

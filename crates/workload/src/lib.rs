@@ -1,0 +1,31 @@
+//! # dollymp-workload
+//!
+//! Workload generation for the DollyMP experiments:
+//!
+//! * [`apps`] — WordCount and PageRank job models (§6.2's applications);
+//! * [`google`] — the synthetic Google-trace-like generator (heavy-tailed
+//!   job sizes, discrete container shapes) standing in for the raw traces
+//!   the paper samples from (substitution documented in DESIGN.md);
+//! * [`suite`] — the paper's concrete experiment workloads: the 100-job
+//!   light-load mix, the two 500-job heavy-load suites and the Fig. 1
+//!   repeated-WordCount motivation;
+//! * [`arrivals`] — fixed-gap and Poisson arrival processes;
+//! * [`trace`] — JSON trace persistence for bit-identical replays.
+//!
+//! Everything is deterministic per seed: generating the same suite twice
+//! yields identical jobs, which is what makes cross-scheduler comparisons
+//! paired (DESIGN.md §4.3).
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod apps;
+pub mod arrivals;
+pub mod google;
+pub mod stats;
+pub mod suite;
+pub mod trace;
+
+pub use google::{generate as generate_google, GoogleConfig};
+pub use stats::WorkloadStats;
+pub use trace::Trace;

@@ -1,0 +1,208 @@
+//! The paper's concrete experiment workloads (§6.2), expressed in slots
+//! (5-second slots, [`SlotClock::paper_default`]):
+//!
+//! * [`light_load`] — 100 jobs, half PageRank (half of those with 10 GB
+//!   input, half 1 GB) and half WordCount (10 GB), inter-arrival ≈ 200 s
+//!   (Fig. 4);
+//! * [`heavy_pagerank`] — 500 PageRank jobs, inter-arrival ≈ 20 s
+//!   (Figs. 5a/6a/7a);
+//! * [`heavy_wordcount`] — 500 WordCount jobs, inter-arrival ≈ 20 s
+//!   (Figs. 5b/6b/7b);
+//! * [`fig1_wordcount`] — the §2 motivation: one 4 GB WordCount job
+//!   repeated 8 times back-to-back (we model it as 8 jobs with huge
+//!   gaps so they never overlap).
+//!
+//! All suites scale down by an optional `scale` factor so tests and CI
+//! can run the same shape at a fraction of the size.
+
+use crate::apps::{pagerank, wordcount};
+use dollymp_core::job::{JobId, JobSpec};
+use dollymp_core::time::SlotClock;
+
+/// Convert a seconds gap to slots under the paper's 5 s slot.
+fn gap_slots(secs: f64) -> u64 {
+    SlotClock::paper_default().duration_from_secs(secs)
+}
+
+/// The lightly-loaded 100-job mix of §6.2.1 (Fig. 4). `scale` divides the
+/// job count (1 = the paper's 100 jobs; 4 → 25 jobs for quick runs).
+pub fn light_load(seed: u64, scale: usize) -> Vec<JobSpec> {
+    mix_suite(seed, 100 / scale.max(1), gap_slots(200.0))
+}
+
+/// A PageRank/WordCount mix with the given size and inter-arrival gap.
+fn mix_suite(seed: u64, njobs: usize, gap: u64) -> Vec<JobSpec> {
+    let arrivals = crate::arrivals::poisson(njobs, gap as f64, seed ^ 0x11C0);
+    (0..njobs)
+        .map(|i| {
+            let id = JobId(i as u64);
+            let arrival = arrivals[i];
+            if i % 2 == 0 {
+                // Half PageRank; of those, alternate 10 GB and 1 GB input.
+                let gb = if i % 4 == 0 { 10.0 } else { 1.0 };
+                pagerank(id, arrival, gb, 3, seed)
+            } else {
+                wordcount(id, arrival, 10.0, seed)
+            }
+        })
+        .collect()
+}
+
+/// The heavily-loaded PageRank experiment of §6.2.2 (500 jobs,
+/// inter-arrival ≈ 20 s). `scale` divides the job count.
+pub fn heavy_pagerank(seed: u64, scale: usize) -> Vec<JobSpec> {
+    let njobs = 500 / scale.max(1);
+    let arrivals = crate::arrivals::poisson(njobs, gap_slots(20.0) as f64, seed ^ 0x55AA);
+    (0..njobs)
+        .map(|i| {
+            let gb = if i % 2 == 0 { 10.0 } else { 1.0 };
+            pagerank(JobId(i as u64), arrivals[i], gb, 3, seed)
+        })
+        .collect()
+}
+
+/// The heavily-loaded WordCount experiment of §6.2.2 (500 jobs,
+/// inter-arrival ≈ 20 s). `scale` divides the job count.
+pub fn heavy_wordcount(seed: u64, scale: usize) -> Vec<JobSpec> {
+    let njobs = 500 / scale.max(1);
+    let arrivals = crate::arrivals::poisson(njobs, gap_slots(20.0) as f64, seed ^ 0x77EE);
+    (0..njobs)
+        .map(|i| wordcount(JobId(i as u64), arrivals[i], 10.0, seed))
+        .collect()
+}
+
+/// The §2 motivation workload (Fig. 1): the same 4 GB WordCount job run 8
+/// times, each submitted only after the previous one is (comfortably)
+/// done — modelled with a gap long enough that runs never overlap.
+pub fn fig1_wordcount(seed: u64) -> Vec<JobSpec> {
+    (0..8u64)
+        .map(|i| {
+            // Same job statistics each run (same seed ⊕ fixed id salt);
+            // different arrival, and a distinct JobId per run so the
+            // simulator treats them as separate jobs with fresh duration
+            // draws.
+            let mut j = wordcount(JobId(i), 0, 4.0, seed);
+            j = JobSpec::builder(JobId(i))
+                .arrival(i * 10_000)
+                .label("wordcount")
+                .phase(j.phases()[0].clone())
+                .phase(j.phases()[1].clone())
+                .build()
+                .expect("rebuilt wordcount valid");
+            j
+        })
+        .collect()
+}
+
+/// A recurring-application workload for the §5.2 estimation experiments:
+/// `apps` distinct applications (labels `app0…`), each submitted `runs`
+/// times with identical structure, arrivals Poisson with the given mean
+/// gap. Recurring labels are what lets the YARN history registry build
+/// useful priors.
+pub fn recurring(seed: u64, apps: usize, runs: usize, gap: u64) -> Vec<JobSpec> {
+    let n = apps.max(1) * runs.max(1);
+    let arrivals = crate::arrivals::poisson(n, gap as f64, seed ^ 0x9E37);
+    (0..n)
+        .map(|i| {
+            let app = i % apps.max(1);
+            // Structure depends on the app only (identical across runs):
+            // derive from a wordcount of app-specific size.
+            let gb = 2.0 + 2.0 * app as f64;
+            let template = wordcount(JobId(app as u64), 0, gb, seed);
+            JobSpec::builder(JobId(i as u64))
+                .arrival(arrivals[i])
+                .label(format!("app{app}"))
+                .phase(template.phases()[0].clone())
+                .phase(template.phases()[1].clone())
+                .build()
+                .expect("rebuilt chain valid")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn light_load_composition() {
+        let jobs = light_load(1, 1);
+        assert_eq!(jobs.len(), 100);
+        let pr = jobs.iter().filter(|j| j.label == "pagerank").count();
+        let wc = jobs.iter().filter(|j| j.label == "wordcount").count();
+        assert_eq!(pr, 50);
+        assert_eq!(wc, 50);
+        // Half the PageRank jobs are big (10 GB → 60-wide phases).
+        let big = jobs
+            .iter()
+            .filter(|j| j.label == "pagerank" && j.phases()[0].ntasks == 60)
+            .count();
+        assert_eq!(big, 25);
+    }
+
+    #[test]
+    fn scaling_reduces_job_count() {
+        assert_eq!(light_load(1, 4).len(), 25);
+        assert_eq!(heavy_pagerank(1, 10).len(), 50);
+        assert_eq!(heavy_wordcount(1, 10).len(), 50);
+    }
+
+    #[test]
+    fn heavy_suites_have_tight_arrivals() {
+        let pr = heavy_pagerank(1, 1);
+        assert_eq!(pr.len(), 500);
+        let span = pr.last().unwrap().arrival as f64;
+        let mean_gap = span / (pr.len() - 1) as f64;
+        // ≈ 4 slots (20 s at 5 s/slot).
+        assert!((mean_gap - 4.0).abs() < 1.0, "mean gap {mean_gap}");
+    }
+
+    #[test]
+    fn fig1_runs_never_overlap() {
+        let jobs = fig1_wordcount(3);
+        assert_eq!(jobs.len(), 8);
+        for w in jobs.windows(2) {
+            assert!(w[1].arrival - w[0].arrival >= 10_000);
+        }
+        // Identical statistics in every run.
+        let t0 = jobs[0].phases()[0].theta;
+        assert!(jobs
+            .iter()
+            .all(|j| j.phases()[0].ntasks == jobs[0].phases()[0].ntasks));
+        // θ jitter is per-JobId, so runs differ slightly — that is the
+        // run-to-run variance Fig. 1 visualizes; just sanity-check scale.
+        assert!(jobs.iter().all(|j| (j.phases()[0].theta / t0) < 2.0));
+    }
+
+    #[test]
+    fn recurring_repeats_structure_per_label() {
+        let jobs = recurring(5, 3, 4, 10);
+        assert_eq!(jobs.len(), 12);
+        // Same label ⇒ identical phase structure across runs.
+        for label in ["app0", "app1", "app2"] {
+            let runs: Vec<_> = jobs.iter().filter(|j| j.label == label).collect();
+            assert_eq!(runs.len(), 4);
+            for r in &runs {
+                assert_eq!(r.phases(), runs[0].phases(), "{label}");
+            }
+        }
+        // Different labels differ in size.
+        let a = jobs.iter().find(|j| j.label == "app0").unwrap();
+        let b = jobs.iter().find(|j| j.label == "app2").unwrap();
+        assert_ne!(a.total_tasks(), b.total_tasks());
+        // Unique ids, sorted-ish arrivals.
+        let mut ids: Vec<u64> = jobs.iter().map(|j| j.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 12);
+    }
+
+    #[test]
+    fn suites_are_deterministic() {
+        assert_eq!(light_load(9, 2), light_load(9, 2));
+        assert_ne!(
+            heavy_wordcount(1, 5).first().unwrap().arrival,
+            heavy_wordcount(2, 5).get(1).unwrap().arrival
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! Trace (de)serialization: save a generated workload to JSON and replay
+//! it later, so experiments can be re-run bit-identically and shared.
+
+use dollymp_core::job::JobSpec;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A persisted workload trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Schema version for forward compatibility.
+    pub version: u32,
+    /// Free-form description (generator, parameters).
+    pub description: String,
+    /// The jobs, sorted by arrival.
+    pub jobs: Vec<JobSpec>,
+}
+
+impl Trace {
+    /// Wrap a job list (sorted by arrival, then id).
+    pub fn new(description: impl Into<String>, mut jobs: Vec<JobSpec>) -> Self {
+        jobs.sort_by_key(|j| (j.arrival, j.id));
+        Trace {
+            version: 1,
+            description: description.into(),
+            jobs,
+        }
+    }
+
+    /// Serialize to a JSON string.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("trace types are always serializable")
+    }
+
+    /// Parse from JSON.
+    pub fn from_json(s: &str) -> Result<Trace, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Write to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        fs::write(path, self.to_json())
+    }
+
+    /// Read from a file.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Trace> {
+        let s = fs::read_to_string(path)?;
+        Trace::from_json(&s).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::google::{generate, GoogleConfig};
+    use dollymp_core::job::{JobId, JobSpec};
+    use dollymp_core::resources::Resources;
+
+    #[test]
+    fn json_round_trip() {
+        let jobs = generate(&GoogleConfig {
+            njobs: 25,
+            ..Default::default()
+        });
+        let t = Trace::new("test trace", jobs);
+        let parsed = Trace::from_json(&t.to_json()).unwrap();
+        assert_eq!(t, parsed);
+    }
+
+    #[test]
+    fn new_sorts_by_arrival() {
+        let a = JobSpec::builder(JobId(0))
+            .arrival(50)
+            .phase(dollymp_core::job::PhaseSpec::new(
+                1,
+                Resources::new(1.0, 1.0),
+                1.0,
+                0.0,
+            ))
+            .build()
+            .unwrap();
+        let b = JobSpec::builder(JobId(1))
+            .arrival(10)
+            .phase(dollymp_core::job::PhaseSpec::new(
+                1,
+                Resources::new(1.0, 1.0),
+                1.0,
+                0.0,
+            ))
+            .build()
+            .unwrap();
+        let t = Trace::new("", vec![a, b]);
+        assert_eq!(t.jobs[0].id, JobId(1));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("dollymp-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.json");
+        let t = Trace::new(
+            "file test",
+            generate(&GoogleConfig {
+                njobs: 5,
+                ..Default::default()
+            }),
+        );
+        t.save(&path).unwrap();
+        assert_eq!(Trace::load(&path).unwrap(), t);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(Trace::from_json("{not json").is_err());
+        assert!(Trace::from_json("{}").is_err());
+    }
+}

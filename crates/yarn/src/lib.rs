@@ -1,0 +1,44 @@
+//! # dollymp-yarn
+//!
+//! A simulated Hadoop-YARN-like control plane reproducing the paper's
+//! deployment architecture (§5.2, Fig. 3): a **Resource Manager** running
+//! the DollyMP scheduling logic over job reports, and per-job
+//! **Application Masters** that *estimate* task statistics (from
+//! recurring-job history, then in-run observations, then defaults),
+//! compute job volumes/processing times, request containers tagged with
+//! task IDs + clone budgets + locality preferences, and archive finished
+//! runs back into the history.
+//!
+//!
+//! * [`protocol`] — the AM ↔ RM message types;
+//! * [`nm`] — the node-side container manager (launch / complete / kill
+//!   / heartbeat), the surface §5.2's kill-on-first-finish talks to;
+//! * [`shuffle`] — the Dolly-style delay assignment of upstream outputs
+//!   to downstream clones;
+//! * [`history`] — the recurring-job statistics registry;
+//! * [`am`] — the Application Master estimator;
+//! * [`rm`] — the Resource Manager (Algorithm 1 over reports);
+//! * [`system`] — [`system::YarnSystem`], the assembled control plane as
+//!   a `Scheduler`.
+//!
+//! The headline difference from using `dollymp_schedulers::DollyMP`
+//! directly: [`system::YarnSystem`] schedules on *estimated* statistics,
+//! so the deployment figures (Figs. 1, 4–7) can be reproduced with the
+//! realistic information model rather than oracle knowledge.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod am;
+pub mod history;
+pub mod nm;
+pub mod protocol;
+pub mod rm;
+pub mod shuffle;
+pub mod system;
+
+pub use am::{AmConfig, ApplicationMaster};
+pub use history::HistoryRegistry;
+pub use nm::{NodeHeartbeat, NodeManager};
+pub use rm::ResourceManager;
+pub use system::YarnSystem;

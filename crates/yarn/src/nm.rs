@@ -1,0 +1,315 @@
+//! The simulated Node Manager — the node-side of Fig. 3.
+//!
+//! A [`NodeManager`] owns the containers on one server: it enforces the
+//! node's capacity at launch, tracks task/clone containers through their
+//! lifecycle (running → completed/killed), and reports state upward via
+//! [`NodeHeartbeat`]s. The engine in `dollymp-cluster` performs this same
+//! bookkeeping internally for speed; this component exposes it as an
+//! explicit, independently tested protocol surface — the piece of YARN
+//! the paper's kill-on-first-finish and cloned-container launches
+//! actually talk to.
+
+use dollymp_cluster::spec::ServerId;
+use dollymp_core::job::TaskRef;
+use dollymp_core::resources::Resources;
+use dollymp_core::time::Time;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies a container within one NM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ContainerId(pub u64);
+
+/// Lifecycle of a container.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ContainerState {
+    /// Occupying resources.
+    Running,
+    /// Finished normally (its copy won).
+    Completed,
+    /// Killed because a sibling copy finished first.
+    Killed,
+}
+
+/// One task/clone container on a node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Container {
+    /// NM-local id.
+    pub id: ContainerId,
+    /// The task whose copy runs inside.
+    pub task: TaskRef,
+    /// Copy index (0 = primary).
+    pub copy_idx: u32,
+    /// Resources held while running.
+    pub demand: Resources,
+    /// Launch slot.
+    pub started: Time,
+    /// Current state.
+    pub state: ContainerState,
+    /// End slot (completion or kill), once terminal.
+    pub ended: Option<Time>,
+}
+
+/// Errors from NM operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NmError {
+    /// Launch would exceed the node's capacity.
+    OverCapacity,
+    /// Unknown container id.
+    UnknownContainer(ContainerId),
+    /// Terminal-state transition on an already-terminal container.
+    NotRunning(ContainerId),
+}
+
+impl fmt::Display for NmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NmError::OverCapacity => write!(f, "launch exceeds node capacity"),
+            NmError::UnknownContainer(c) => write!(f, "unknown container {}", c.0),
+            NmError::NotRunning(c) => write!(f, "container {} is not running", c.0),
+        }
+    }
+}
+
+impl std::error::Error for NmError {}
+
+/// Periodic node → RM status report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeHeartbeat {
+    /// Which node.
+    pub server: ServerId,
+    /// Slot the heartbeat was taken at.
+    pub at: Time,
+    /// Resources currently free.
+    pub available: Resources,
+    /// Tasks with a running copy here.
+    pub running: Vec<TaskRef>,
+}
+
+/// Node-side container manager for one server.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeManager {
+    server: ServerId,
+    capacity: Resources,
+    used: Resources,
+    next_id: u64,
+    containers: Vec<Container>,
+}
+
+impl NodeManager {
+    /// An NM for a server with the given capacity.
+    pub fn new(server: ServerId, capacity: Resources) -> Self {
+        NodeManager {
+            server,
+            capacity,
+            used: Resources::ZERO,
+            next_id: 0,
+            containers: Vec::new(),
+        }
+    }
+
+    /// Launch a container for `task`'s copy `copy_idx`.
+    pub fn launch(
+        &mut self,
+        task: TaskRef,
+        copy_idx: u32,
+        demand: Resources,
+        now: Time,
+    ) -> Result<ContainerId, NmError> {
+        if !demand.fits_in(self.capacity.saturating_sub(self.used)) {
+            return Err(NmError::OverCapacity);
+        }
+        let id = ContainerId(self.next_id);
+        self.next_id += 1;
+        self.used += demand;
+        self.containers.push(Container {
+            id,
+            task,
+            copy_idx,
+            demand,
+            started: now,
+            state: ContainerState::Running,
+            ended: None,
+        });
+        Ok(id)
+    }
+
+    fn finish(&mut self, id: ContainerId, now: Time, state: ContainerState) -> Result<(), NmError> {
+        let c = self
+            .containers
+            .iter_mut()
+            .find(|c| c.id == id)
+            .ok_or(NmError::UnknownContainer(id))?;
+        if c.state != ContainerState::Running {
+            return Err(NmError::NotRunning(id));
+        }
+        c.state = state;
+        c.ended = Some(now);
+        self.used -= c.demand;
+        Ok(())
+    }
+
+    /// Mark a container completed (its copy won) and free its resources.
+    pub fn complete(&mut self, id: ContainerId, now: Time) -> Result<(), NmError> {
+        self.finish(id, now, ContainerState::Completed)
+    }
+
+    /// Kill a container (a sibling copy won) and free its resources.
+    pub fn kill(&mut self, id: ContainerId, now: Time) -> Result<(), NmError> {
+        self.finish(id, now, ContainerState::Killed)
+    }
+
+    /// Kill every running container of `task` except `keep` — the §5.2
+    /// rule "the AM keeps another running copy … and kills the remaining
+    /// running copies on their corresponding Node Managers". Returns the
+    /// number killed.
+    pub fn kill_siblings(&mut self, task: TaskRef, keep: ContainerId, now: Time) -> usize {
+        let ids: Vec<ContainerId> = self
+            .containers
+            .iter()
+            .filter(|c| c.task == task && c.id != keep && c.state == ContainerState::Running)
+            .map(|c| c.id)
+            .collect();
+        for id in &ids {
+            self.kill(*id, now).expect("listed running container");
+        }
+        ids.len()
+    }
+
+    /// Resources currently free on this node.
+    pub fn available(&self) -> Resources {
+        self.capacity.saturating_sub(self.used)
+    }
+
+    /// Resources currently held by running containers.
+    pub fn used(&self) -> Resources {
+        self.used
+    }
+
+    /// This node's id.
+    pub fn server(&self) -> ServerId {
+        self.server
+    }
+
+    /// All containers ever launched (terminal ones included).
+    pub fn containers(&self) -> &[Container] {
+        &self.containers
+    }
+
+    /// Produce a heartbeat snapshot.
+    pub fn heartbeat(&self, now: Time) -> NodeHeartbeat {
+        NodeHeartbeat {
+            server: self.server,
+            at: now,
+            available: self.available(),
+            running: self
+                .containers
+                .iter()
+                .filter(|c| c.state == ContainerState::Running)
+                .map(|c| c.task)
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dollymp_core::job::{JobId, PhaseId, TaskId};
+
+    fn task(j: u64, t: u32) -> TaskRef {
+        TaskRef {
+            job: JobId(j),
+            phase: PhaseId(0),
+            task: TaskId(t),
+        }
+    }
+
+    fn nm() -> NodeManager {
+        NodeManager::new(ServerId(3), Resources::new(4.0, 8.0))
+    }
+
+    #[test]
+    fn launch_tracks_capacity() {
+        let mut n = nm();
+        let d = Resources::new(2.0, 4.0);
+        let a = n.launch(task(0, 0), 0, d, 1).unwrap();
+        assert_eq!(n.available(), Resources::new(2.0, 4.0));
+        let _b = n.launch(task(0, 1), 0, d, 1).unwrap();
+        assert_eq!(n.available(), Resources::ZERO);
+        // Third launch over capacity.
+        assert_eq!(n.launch(task(0, 2), 0, d, 1), Err(NmError::OverCapacity));
+        // Completing frees resources exactly.
+        n.complete(a, 5).unwrap();
+        assert_eq!(n.available(), d);
+        assert_eq!(n.used(), d);
+    }
+
+    #[test]
+    fn lifecycle_transitions_are_guarded() {
+        let mut n = nm();
+        let id = n
+            .launch(task(1, 0), 0, Resources::new(1.0, 1.0), 0)
+            .unwrap();
+        n.complete(id, 4).unwrap();
+        assert_eq!(n.complete(id, 5), Err(NmError::NotRunning(id)));
+        assert_eq!(n.kill(id, 5), Err(NmError::NotRunning(id)));
+        assert_eq!(
+            n.kill(ContainerId(99), 5),
+            Err(NmError::UnknownContainer(ContainerId(99)))
+        );
+        let c = &n.containers()[0];
+        assert_eq!(c.state, ContainerState::Completed);
+        assert_eq!(c.ended, Some(4));
+    }
+
+    #[test]
+    fn kill_siblings_spares_the_keeper() {
+        let mut n = nm();
+        let t = task(2, 0);
+        let keep = n.launch(t, 0, Resources::new(1.0, 1.0), 0).unwrap();
+        let _c1 = n.launch(t, 1, Resources::new(1.0, 1.0), 0).unwrap();
+        let _c2 = n.launch(t, 2, Resources::new(1.0, 1.0), 0).unwrap();
+        let other = n
+            .launch(task(2, 1), 0, Resources::new(1.0, 1.0), 0)
+            .unwrap();
+        let killed = n.kill_siblings(t, keep, 7);
+        assert_eq!(killed, 2);
+        assert_eq!(n.containers()[0].state, ContainerState::Running, "keeper");
+        assert_eq!(n.containers()[1].state, ContainerState::Killed);
+        assert_eq!(n.containers()[2].state, ContainerState::Killed);
+        // Unrelated task untouched.
+        let o = n.containers().iter().find(|c| c.id == other).unwrap();
+        assert_eq!(o.state, ContainerState::Running);
+        // Resources of the two killed clones freed.
+        assert_eq!(n.used(), Resources::new(2.0, 2.0));
+    }
+
+    #[test]
+    fn heartbeat_reports_running_tasks() {
+        let mut n = nm();
+        let a = n
+            .launch(task(0, 0), 0, Resources::new(1.0, 2.0), 3)
+            .unwrap();
+        let _ = n
+            .launch(task(0, 1), 0, Resources::new(1.0, 2.0), 3)
+            .unwrap();
+        n.complete(a, 9).unwrap();
+        let hb = n.heartbeat(10);
+        assert_eq!(hb.server, ServerId(3));
+        assert_eq!(hb.at, 10);
+        assert_eq!(hb.running, vec![task(0, 1)]);
+        assert_eq!(hb.available, Resources::new(3.0, 6.0));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut n = nm();
+        let _ = n
+            .launch(task(0, 0), 0, Resources::new(1.0, 1.0), 0)
+            .unwrap();
+        let json = serde_json::to_string(&n).unwrap();
+        let back: NodeManager = serde_json::from_str(&json).unwrap();
+        assert_eq!(n, back);
+    }
+}

@@ -1,0 +1,69 @@
+//! Walk through the §5.2 delay-assignment shuffle rule on a concrete
+//! map → reduce edge: an upstream map task with three copies feeding a
+//! downstream reduce task with two copies.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example delay_assignment
+//! ```
+
+use dollymp::core::job::{JobId, PhaseId, TaskId, TaskRef};
+use dollymp::yarn::shuffle::{DelayAssigner, ShuffleDecision};
+
+fn task(phase: u32) -> TaskRef {
+    TaskRef {
+        job: JobId(1),
+        phase: PhaseId(phase),
+        task: TaskId(0),
+    }
+}
+
+fn main() {
+    println!("§5.2 delay assignment — map task (3 copies) → reduce task (2 copies)\n");
+    let mut edge = DelayAssigner::new(task(0), task(1), 3, 2);
+    println!(
+        "delay rule active: {} (downstream has clones, upstream has ≥ as many copies)\n",
+        edge.delay_active()
+    );
+
+    // Upstream copies finish in the order 2, 0, 1 (copy 2 was on the
+    // fastest machine).
+    for (event, copy) in [("first", 2u32), ("second", 0), ("third", 1)] {
+        let decision = edge.on_upstream_finish(copy);
+        print!("{event} upstream copy to finish is #{copy}: ");
+        match decision {
+            ShuffleDecision::Wait => {
+                println!("WAIT — hold the output until a second copy lands")
+            }
+            ShuffleDecision::Bind(bindings) => {
+                println!("BIND —");
+                for b in bindings {
+                    println!(
+                        "    reduce copy #{} reads map output from copy #{}",
+                        b.downstream_copy, b.upstream_copy
+                    );
+                }
+            }
+            ShuffleDecision::Done => {
+                println!("DONE — all consumers already fed; the late clone is ignored")
+            }
+        }
+    }
+
+    println!(
+        "\nand the degenerate case — 1 upstream copy, 3 downstream clones \
+         (broadcast):"
+    );
+    let mut skinny = DelayAssigner::new(task(0), task(1), 1, 3);
+    match skinny.on_upstream_finish(0) {
+        ShuffleDecision::Bind(bindings) => {
+            for b in bindings {
+                println!(
+                    "    reduce copy #{} reads map output from copy #{}",
+                    b.downstream_copy, b.upstream_copy
+                );
+            }
+        }
+        other => println!("unexpected: {other:?}"),
+    }
+}

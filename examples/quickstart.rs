@@ -1,0 +1,55 @@
+//! Quickstart: schedule a small workload on the paper's 30-node cluster
+//! with DollyMP² and three baselines, and print a comparison table.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use dollymp::prelude::*;
+
+fn main() {
+    // The heterogeneous 30-node / 328-core cluster of §6.1.
+    let cluster = ClusterSpec::paper_30_node();
+    println!(
+        "cluster: {} servers, totals = {}",
+        cluster.len(),
+        cluster.totals()
+    );
+
+    // A 25-job WordCount/PageRank mix (the §6.2 light-load suite, ×1/4).
+    let jobs = dollymp::workload::suite::light_load(7, 4);
+    println!(
+        "workload: {} jobs ({} tasks total)\n",
+        jobs.len(),
+        jobs.iter().map(|j| j.total_tasks()).sum::<u64>()
+    );
+
+    // Paired stochastic task durations: every scheduler sees the same
+    // draws, so differences below are pure policy.
+    let sampler = DurationSampler::new(7, StragglerModel::ParetoFit);
+
+    println!(
+        "{:<16} {:>14} {:>12} {:>12} {:>10}",
+        "scheduler", "total flow", "mean flow", "mean run", "clones"
+    );
+    for name in ["capacity-nospec", "tetris", "drf", "dollymp0", "dollymp2"] {
+        let mut s = by_name(name).expect("known scheduler");
+        let report = simulate(
+            &cluster,
+            jobs.clone(),
+            &sampler,
+            s.as_mut(),
+            &EngineConfig::default(),
+        );
+        println!(
+            "{:<16} {:>14} {:>12.1} {:>12.1} {:>10}",
+            name,
+            report.total_flowtime(),
+            report.mean_flowtime(),
+            report.mean_running_time(),
+            report.jobs.iter().map(|j| j.clone_copies).sum::<u64>()
+        );
+    }
+    println!("\n(flow/run times in 5-second slots; see EXPERIMENTS.md for full figures)");
+}

@@ -1,0 +1,89 @@
+//! Trace-driven simulation at scale (§6.3): generate a Google-like
+//! workload, persist it as a JSON trace, replay it on a large cluster
+//! under DollyMP², Tetris and DRF, and report the per-job speedup and
+//! resource-usage ratios of Fig. 8 (here at 1 000 servers / 300 jobs so
+//! the example finishes in seconds; the fig08 bench binary runs the full
+//! scale).
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example trace_simulation
+//! ```
+
+use dollymp::cluster::metrics::quantile;
+use dollymp::prelude::*;
+
+fn main() {
+    // 1) Generate and persist a trace (replayable, shareable).
+    let cfg = GoogleConfig {
+        njobs: 300,
+        mean_gap_slots: 2.0,
+        seed: 2022,
+        ..Default::default()
+    };
+    let jobs = generate_google(&cfg);
+    let trace = Trace::new(format!("google-like {cfg:?}"), jobs);
+    let path = std::env::temp_dir().join("dollymp_trace.json");
+    trace.save(&path).expect("trace written");
+    println!(
+        "trace: {} jobs saved to {}",
+        trace.jobs.len(),
+        path.display()
+    );
+
+    // 2) Replay on a 1 000-server heterogeneous fleet.
+    let cluster = ClusterSpec::google_like(1000, 5);
+    let sampler = DurationSampler::new(2022, StragglerModel::google_traces());
+    let replayed = Trace::load(&path).expect("trace read back");
+
+    let mut results = Vec::new();
+    for name in ["dollymp2", "tetris", "drf"] {
+        let mut s = by_name(name).expect("known scheduler");
+        let r = simulate(
+            &cluster,
+            replayed.jobs.clone(),
+            &sampler,
+            s.as_mut(),
+            &EngineConfig::default(),
+        );
+        println!(
+            "{name:<10} total flow {:>10}  makespan {:>6}  usage {:>10.1}",
+            r.total_flowtime(),
+            r.makespan,
+            r.total_usage()
+        );
+        results.push((name, r));
+    }
+
+    // 3) Fig. 8-style per-job ratios: DollyMP² vs Tetris (flowtime) and
+    //    DollyMP² vs DRF (resource usage).
+    let dollymp = &results[0].1;
+    let tetris = results[1].1.by_id();
+    let drf = results[2].1.by_id();
+    let flow_ratios: Vec<f64> = dollymp
+        .jobs
+        .iter()
+        .filter_map(|j| {
+            tetris
+                .get(&j.id)
+                .map(|t| j.flowtime as f64 / t.flowtime.max(1) as f64)
+        })
+        .collect();
+    let usage_ratios: Vec<f64> = dollymp
+        .jobs
+        .iter()
+        .filter_map(|j| drf.get(&j.id).map(|d| j.usage / d.usage.max(1e-9)))
+        .collect();
+    println!(
+        "\nflowtime ratio DollyMP²/Tetris: p10 {:.2}  p50 {:.2}  p90 {:.2}",
+        quantile(&flow_ratios, 0.1),
+        quantile(&flow_ratios, 0.5),
+        quantile(&flow_ratios, 0.9)
+    );
+    println!(
+        "usage ratio DollyMP²/DRF:       p10 {:.2}  p50 {:.2}  p90 {:.2}",
+        quantile(&usage_ratios, 0.1),
+        quantile(&usage_ratios, 0.5),
+        quantile(&usage_ratios, 0.9)
+    );
+}

@@ -17,7 +17,7 @@
 //! than silently skew an experiment.
 
 use crate::execution::DurationSampler;
-use crate::metrics::{CopyOutcome, CopySpan, JobMetrics, SimReport};
+use crate::metrics::{CopyOutcome, CopySpan, JobMetrics, SchedOverhead, SimReport};
 use crate::scheduler::{Assignment, Scheduler};
 use crate::spec::ClusterSpec;
 use crate::state::{CopyKind, CopyState, JobState, TaskStatus};
@@ -133,6 +133,9 @@ pub fn simulate(
     let mut done: Vec<JobMetrics> = Vec::new();
     let mut decision_points = 0u64;
     let mut scheduling_ns = 0u64;
+    // One entry per decision point: schedule() plus the on-arrival
+    // refreshes that preceded it in the same slot (§6.3.3 overhead).
+    let mut overhead_samples: Vec<u64> = Vec::new();
     let mut utilization: Vec<(Time, f64, f64)> = Vec::new();
     let mut timeline: Vec<CopySpan> = Vec::new();
     let mut now: Time = 0;
@@ -199,6 +202,7 @@ pub fn simulate(
         }
 
         // 2) Admit arrivals.
+        let mut arrival_ns = 0u64;
         while arrivals.last().is_some_and(|j| j.arrival <= now) {
             let spec = arrivals.pop().expect("peeked");
             let id = spec.id;
@@ -220,7 +224,9 @@ pub fn simulate(
                 free: &free,
                 jobs: &active,
             };
+            let t0 = std::time::Instant::now();
             scheduler.on_job_arrival(&view, id);
+            arrival_ns += t0.elapsed().as_nanos() as u64;
         }
 
         // 3) One scheduling pass.
@@ -233,7 +239,9 @@ pub fn simulate(
             };
             let t0 = std::time::Instant::now();
             let batch = scheduler.schedule(&view);
-            scheduling_ns += t0.elapsed().as_nanos() as u64;
+            let schedule_ns = t0.elapsed().as_nanos() as u64;
+            scheduling_ns += schedule_ns;
+            overhead_samples.push(arrival_ns + schedule_ns);
             decision_points += 1;
 
             let stalled_risk = events.is_empty() && arrivals.is_empty();
@@ -290,6 +298,7 @@ pub fn simulate(
         makespan,
         decision_points,
         scheduling_ns,
+        sched_overhead: SchedOverhead::from_samples(&overhead_samples),
         utilization,
         timeline,
     }
@@ -985,6 +994,13 @@ mod tests {
         assert_eq!(r.jobs.len(), 3);
         assert!(r.decision_points >= 3);
         assert_eq!(r.makespan, 6, "three serial 2-slot jobs");
+        // One overhead sample per decision point, covering at least the
+        // schedule() time itself.
+        let o = r.sched_overhead;
+        assert_eq!(o.decision_points, r.decision_points);
+        assert!(o.total_ns >= r.scheduling_ns);
+        assert!(o.mean_ns <= o.p99_ns && o.p99_ns <= o.max_ns);
+        assert!(o.max_ns <= o.total_ns);
     }
 
     #[test]

@@ -48,7 +48,9 @@ pub mod view;
 pub mod prelude {
     pub use crate::engine::{simulate, EngineConfig};
     pub use crate::execution::{DurationSampler, StragglerModel};
-    pub use crate::metrics::{cdf, cdf_at, jain_index, quantile, JobMetrics, SimReport};
+    pub use crate::metrics::{
+        cdf, cdf_at, jain_index, quantile, JobMetrics, SchedOverhead, SimReport,
+    };
     pub use crate::scheduler::{clone_allowed, Assignment, FifoFirstFit, Scheduler};
     pub use crate::spec::{ClusterSpec, ServerId, ServerSpec};
     pub use crate::state::{CopyKind, CopyState, JobState, PhaseState, TaskState, TaskStatus};

@@ -101,6 +101,50 @@ pub struct JobMetrics {
     pub usage: f64,
 }
 
+/// Wall-clock scheduling overhead, summarized over the run's decision
+/// points — the §6.3.3 metric (the paper reports < 20 ms per pass for
+/// 1 000 pending jobs and a < 50 ms end-to-end budget).
+///
+/// One sample per decision point, covering the scheduler work done at
+/// that point: the `Scheduler::schedule` call **plus** any on-arrival
+/// priority refresh (`on_job_arrival`) that preceded it in the same
+/// slot. Measured inside [`crate::engine::simulate`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchedOverhead {
+    /// Number of decision points (= samples).
+    pub decision_points: u64,
+    /// Sum of all samples, in nanoseconds.
+    pub total_ns: u64,
+    /// Mean sample, in nanoseconds (0 for empty runs).
+    pub mean_ns: u64,
+    /// 99th-percentile sample (nearest-rank), in nanoseconds.
+    pub p99_ns: u64,
+    /// Largest sample, in nanoseconds.
+    pub max_ns: u64,
+}
+
+impl SchedOverhead {
+    /// Summarize per-decision-point samples (nanoseconds each).
+    pub fn from_samples(samples: &[u64]) -> Self {
+        if samples.is_empty() {
+            return SchedOverhead::default();
+        }
+        let n = samples.len();
+        let total: u64 = samples.iter().sum();
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        // Nearest-rank percentile: the smallest sample ≥ 99 % of the set.
+        let p99_idx = ((n as f64) * 0.99).ceil() as usize;
+        SchedOverhead {
+            decision_points: n as u64,
+            total_ns: total,
+            mean_ns: total / n as u64,
+            p99_ns: sorted[p99_idx.clamp(1, n) - 1],
+            max_ns: sorted[n - 1],
+        }
+    }
+}
+
 /// Everything a simulation run produces.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimReport {
@@ -115,6 +159,11 @@ pub struct SimReport {
     /// Wall-clock spent inside `Scheduler::schedule`, in nanoseconds —
     /// the §6.3.3 scheduling-overhead metric.
     pub scheduling_ns: u64,
+    /// Per-decision-point overhead summary (schedule + on-arrival
+    /// refresh). `#[serde(default)]` so reports written before this field
+    /// existed still deserialize.
+    #[serde(default)]
+    pub sched_overhead: SchedOverhead,
     /// Cluster utilization samples `(slot, cpu fraction, mem fraction)`
     /// taken after every decision point — empty unless
     /// `EngineConfig::record_utilization` was set.
@@ -340,9 +389,41 @@ mod tests {
             makespan,
             decision_points: 0,
             scheduling_ns: 0,
+            sched_overhead: SchedOverhead::default(),
             utilization: Vec::new(),
             timeline: Vec::new(),
         }
+    }
+
+    #[test]
+    fn sched_overhead_defaults_when_absent_from_json() {
+        // A report written before the field existed must still load.
+        let json = r#"{"scheduler":"t","jobs":[],"makespan":0,
+                       "decision_points":3,"scheduling_ns":9,
+                       "utilization":[],"timeline":[]}"#;
+        let r: SimReport = serde_json::from_str(json).expect("old report loads");
+        assert_eq!(r.sched_overhead, SchedOverhead::default());
+        assert_eq!(r.decision_points, 3);
+        // And a freshly serialized report round-trips the field.
+        let mut r2 = report(vec![]);
+        r2.sched_overhead = SchedOverhead::from_samples(&[5, 10, 15]);
+        let back: SimReport = serde_json::from_str(&serde_json::to_string(&r2).unwrap()).unwrap();
+        assert_eq!(back.sched_overhead, r2.sched_overhead);
+    }
+
+    #[test]
+    fn sched_overhead_summary() {
+        assert_eq!(SchedOverhead::from_samples(&[]), SchedOverhead::default());
+        let samples: Vec<u64> = (1..=100).collect();
+        let o = SchedOverhead::from_samples(&samples);
+        assert_eq!(o.decision_points, 100);
+        assert_eq!(o.total_ns, 5050);
+        assert_eq!(o.mean_ns, 50);
+        assert_eq!(o.p99_ns, 99, "nearest-rank p99 of 1..=100");
+        assert_eq!(o.max_ns, 100);
+        let one = SchedOverhead::from_samples(&[7]);
+        assert_eq!(one.p99_ns, 7);
+        assert_eq!(one.mean_ns, 7);
     }
 
     #[test]

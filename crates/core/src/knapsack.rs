@@ -24,15 +24,7 @@
 /// assert_eq!(picked, vec![1, 3, 2]); // weights 1 + 2 + 3 = 6
 /// ```
 pub fn unit_profit_knapsack(weights: &[f64], capacity: f64) -> Vec<usize> {
-    let mut order: Vec<usize> = (0..weights.len())
-        .filter(|&i| weights[i].is_finite() && weights[i] >= 0.0)
-        .collect();
-    order.sort_by(|&a, &b| {
-        weights[a]
-            .partial_cmp(&weights[b])
-            .expect("weights are finite")
-            .then(a.cmp(&b))
-    });
+    let order = sorted_by_weight(weights);
     let mut used = 0.0f64;
     let mut picked = Vec::new();
     for i in order {
@@ -45,6 +37,26 @@ pub fn unit_profit_knapsack(weights: &[f64], capacity: f64) -> Vec<usize> {
         }
     }
     picked
+}
+
+/// The greedy order [`unit_profit_knapsack`] consumes: item indices sorted
+/// by increasing weight, ties broken by index, with non-finite or negative
+/// weights filtered out.
+///
+/// Exposed so callers that solve the *same* item set against many
+/// capacities (Algorithm 1 walks doubling horizons over one job set) can
+/// sort once and reuse the order, instead of re-sorting per capacity.
+pub fn sorted_by_weight(weights: &[f64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..weights.len())
+        .filter(|&i| weights[i].is_finite() && weights[i] >= 0.0)
+        .collect();
+    order.sort_by(|&a, &b| {
+        weights[a]
+            .partial_cmp(&weights[b])
+            .expect("weights are finite")
+            .then(a.cmp(&b))
+    });
+    order
 }
 
 /// Exact 0/1 knapsack by dynamic programming over integer weights.

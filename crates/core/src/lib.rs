@@ -87,7 +87,7 @@ pub mod prelude {
     pub use crate::job::{
         DagError, JobId, JobSpec, JobSpecBuilder, PhaseId, PhaseSpec, TaskId, TaskRef,
     };
-    pub use crate::knapsack::{knapsack_01_dp, unit_profit_knapsack};
+    pub use crate::knapsack::{knapsack_01_dp, sorted_by_weight, unit_profit_knapsack};
     pub use crate::online::{best_fit_score, ClonePolicy, PriorityTable};
     pub use crate::packing::{lower_bound, nfdh, nfdh_bound, Packing, Rect};
     pub use crate::resources::{dominant_share, Resources};
@@ -96,6 +96,7 @@ pub mod prelude {
     pub use crate::theory::{theorem1_bound, BruteForceOptimal};
     pub use crate::time::{Duration, Time};
     pub use crate::transient::{
-        transient_schedule, TransientConfig, TransientJob, TransientOutput, PRIORITY_UNSELECTED,
+        transient_schedule, SummaryCache, SummaryInput, TransientConfig, TransientJob,
+        TransientOutput, PRIORITY_UNSELECTED,
     };
 }

@@ -20,10 +20,11 @@
 //! job `j`'s expected duration under its level's horizon.
 
 use crate::job::{JobId, JobSpec};
-use crate::knapsack::unit_profit_knapsack;
+use crate::knapsack::sorted_by_weight;
 use crate::resources::Resources;
 use crate::speedup::{Speedup, SpeedupFn};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
 /// Priority assigned to jobs never selected by any knapsack level (they
 /// sort after every selected job).
@@ -32,6 +33,11 @@ pub const PRIORITY_UNSELECTED: u32 = u32::MAX;
 /// Hard cap on the number of doubling levels; `2^60` time units exceeds
 /// any realistic horizon and caps work even on adversarial inputs.
 const MAX_LEVELS: u32 = 60;
+
+/// Below this many jobs the `rayon` feature's parallel paths fall back to
+/// sequential code: scoped-thread fan-out costs more than the work saved.
+#[cfg(feature = "rayon")]
+const PAR_MIN_JOBS: usize = 256;
 
 /// Tunables of the transient process.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -181,23 +187,32 @@ pub fn transient_schedule(jobs: &[TransientJob], cfg: &TransientConfig) -> Trans
     let g_etime = max_etime.max(1.0).log2().ceil() as i64;
     let g = g_volume.max(g_etime).max(1).min(MAX_LEVELS as i64) as u32;
 
+    // Every level solves a unit-profit knapsack over the SAME job set, so
+    // the increasing-weight greedy order is computed once and reused; each
+    // level filters it by horizon eligibility on the fly. This is
+    // decision-identical to a per-level `unit_profit_knapsack` call:
+    // filtering a sorted sequence preserves its order, and the greedy
+    // still stops at the first *eligible* item that overflows the budget.
+    let weights: Vec<f64> = jobs.iter().map(|j| j.volume.max(0.0)).collect();
+    let order = sorted_by_weight(&weights);
+    let first_level = first_feasible_levels(jobs, g);
+
     let mut selected_count = 0usize;
     for l in 1..=g {
         let horizon = (2f64).powi(l as i32);
         // B_l: jobs completing within the horizon. The knapsack re-packs
         // previously selected jobs too (their volume still occupies the
         // budget), exactly as in the pseudo-code.
-        let candidates: Vec<usize> = (0..n).filter(|&i| jobs[i].etime <= horizon).collect();
-        if candidates.is_empty() {
-            continue;
-        }
-        let weights: Vec<f64> = candidates
-            .iter()
-            .map(|&i| jobs[i].volume.max(0.0))
-            .collect();
-        let picked = unit_profit_knapsack(&weights, horizon);
-        for &pos in &picked {
-            let i = candidates[pos];
+        let mut used = 0.0f64;
+        for &i in &order {
+            if first_level[i] > l {
+                continue;
+            }
+            if used + weights[i] > horizon {
+                // Weights ascend along `order`: no later candidate fits.
+                break;
+            }
+            used += weights[i];
             if priorities[i] == PRIORITY_UNSELECTED {
                 priorities[i] = l;
                 selected_count += 1;
@@ -235,6 +250,166 @@ pub fn transient_schedule(jobs: &[TransientJob], cfg: &TransientConfig) -> Trans
         order,
         levels: g,
     }
+}
+
+/// For each job, the smallest level `l ∈ 1..=g` whose horizon `2ˡ` covers
+/// the job's effective processing time (`g + 1` when none does). The hot
+/// per-level candidate filter then reduces to one integer comparison. Uses
+/// the same `e_j ≤ 2ˡ` float predicate as the level loop, so eligibility
+/// is bit-identical; per-job scans are independent, and the `rayon`
+/// feature computes them in parallel for large job sets.
+fn first_feasible_levels(jobs: &[TransientJob], g: u32) -> Vec<u32> {
+    let level_of = |j: &TransientJob| -> u32 {
+        (1..=g)
+            .find(|&l| j.etime <= (2f64).powi(l as i32))
+            .unwrap_or(g + 1)
+    };
+    #[cfg(feature = "rayon")]
+    if jobs.len() >= PAR_MIN_JOBS {
+        use rayon::prelude::*;
+        return jobs.par_iter().map(level_of).collect();
+    }
+    jobs.iter().map(level_of).collect()
+}
+
+/// Borrowed inputs of one job's summary — exactly what
+/// [`TransientJob::from_remaining`] consumes.
+pub struct SummaryInput<'a> {
+    /// The immutable job description.
+    pub spec: &'a JobSpec,
+    /// Unfinished task count per phase (`n_j^k(t)` of Eq. 16).
+    pub remaining_tasks: Vec<u32>,
+    /// Per-phase completion flags (Eq. 17).
+    pub finished_phases: Vec<bool>,
+}
+
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    remaining_tasks: Vec<u32>,
+    finished_phases: Vec<bool>,
+    summary: TransientJob,
+}
+
+/// Memo of [`TransientJob`] summaries keyed by each job's remaining-work
+/// fingerprint (its per-phase unfinished-task counts and completion
+/// flags).
+///
+/// Algorithm 1 reruns over *all* unfinished jobs on every arrival (§5),
+/// but between two arrivals most jobs made no progress: their Eq. 16/17
+/// summaries are pure functions of unchanged inputs. The cache reuses
+/// those and recomputes only the jobs whose remaining work moved — in
+/// parallel under the `rayon` feature when many miss at once.
+///
+/// Reused summaries are bit-identical to recomputed ones (same pure
+/// computation, same inputs), so scheduling decisions are unchanged.
+#[derive(Debug, Clone, Default)]
+pub struct SummaryCache {
+    entries: HashMap<JobId, CacheEntry>,
+    /// Cluster totals and σ-weight (bits) the cached summaries were
+    /// computed against; any change invalidates every entry.
+    key: Option<(Resources, u64)>,
+}
+
+impl SummaryCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        SummaryCache::default()
+    }
+
+    /// Number of jobs with a cached summary.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drop a completed job's entry.
+    pub fn remove(&mut self, job: JobId) {
+        self.entries.remove(&job);
+    }
+
+    /// Drop every entry.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.key = None;
+    }
+
+    /// Summarize `inputs` (preserving order), reusing every cached summary
+    /// whose remaining-work fingerprint is unchanged; misses are computed
+    /// and cached for the next refresh.
+    pub fn summarize(
+        &mut self,
+        inputs: &[SummaryInput<'_>],
+        cluster_totals: Resources,
+        sigma_weight: f64,
+    ) -> Vec<TransientJob> {
+        let key = (cluster_totals, sigma_weight.to_bits());
+        if self.key != Some(key) {
+            self.entries.clear();
+            self.key = Some(key);
+        }
+        let mut out: Vec<Option<TransientJob>> = Vec::with_capacity(inputs.len());
+        let mut misses: Vec<usize> = Vec::new();
+        for (idx, input) in inputs.iter().enumerate() {
+            match self.entries.get(&input.spec.id) {
+                Some(e)
+                    if e.remaining_tasks == input.remaining_tasks
+                        && e.finished_phases == input.finished_phases =>
+                {
+                    out.push(Some(e.summary.clone()));
+                }
+                _ => {
+                    out.push(None);
+                    misses.push(idx);
+                }
+            }
+        }
+        let computed = compute_summaries(inputs, &misses, cluster_totals, sigma_weight);
+        for (&idx, summary) in misses.iter().zip(computed) {
+            let input = &inputs[idx];
+            self.entries.insert(
+                input.spec.id,
+                CacheEntry {
+                    remaining_tasks: input.remaining_tasks.clone(),
+                    finished_phases: input.finished_phases.clone(),
+                    summary: summary.clone(),
+                },
+            );
+            out[idx] = Some(summary);
+        }
+        out.into_iter()
+            .map(|s| s.expect("every slot filled"))
+            .collect()
+    }
+}
+
+/// Summaries of `inputs[misses]`, in miss order — parallel under `rayon`
+/// when enough jobs miss at once.
+fn compute_summaries(
+    inputs: &[SummaryInput<'_>],
+    misses: &[usize],
+    cluster_totals: Resources,
+    sigma_weight: f64,
+) -> Vec<TransientJob> {
+    let one = |idx: &usize| {
+        let i = &inputs[*idx];
+        TransientJob::from_remaining(
+            i.spec,
+            &i.remaining_tasks,
+            &i.finished_phases,
+            cluster_totals,
+            sigma_weight,
+        )
+    };
+    #[cfg(feature = "rayon")]
+    if misses.len() >= PAR_MIN_JOBS {
+        use rayon::prelude::*;
+        return misses.par_iter().map(one).collect();
+    }
+    misses.iter().map(one).collect()
 }
 
 #[cfg(test)]
@@ -404,6 +579,21 @@ mod tests {
             }
         }
 
+        /// The memoized-order level loop is decision-identical to the
+        /// reference per-level knapsack formulation it replaced.
+        #[test]
+        fn matches_reference_implementation(
+            raw in prop::collection::vec((0.01f64..80.0, 0.1f64..200.0), 0..25)
+        ) {
+            let jobs: Vec<TransientJob> = raw.iter().enumerate()
+                .map(|(i, &(v, e))| job(i as u64, v, e)).collect();
+            let cfg = TransientConfig::default();
+            prop_assert_eq!(
+                transient_schedule(&jobs, &cfg),
+                reference_transient_schedule(&jobs, &cfg)
+            );
+        }
+
         /// The order permutation is a valid permutation sorted by priority.
         #[test]
         fn order_is_permutation(
@@ -421,5 +611,140 @@ mod tests {
                 prop_assert!(out.priorities[w[0]] <= out.priorities[w[1]]);
             }
         }
+    }
+
+    /// The pre-memoization Algorithm 1: collect candidates and run a fresh
+    /// `unit_profit_knapsack` (with its own sort) at every level. Kept as
+    /// the test oracle for the memoized-order implementation.
+    fn reference_transient_schedule(
+        jobs: &[TransientJob],
+        cfg: &TransientConfig,
+    ) -> TransientOutput {
+        use crate::knapsack::unit_profit_knapsack;
+        let n = jobs.len();
+        let mut priorities = vec![PRIORITY_UNSELECTED; n];
+        let mut copies = vec![1u32; n];
+        if n == 0 {
+            return TransientOutput {
+                priorities,
+                recommended_copies: copies,
+                order: Vec::new(),
+                levels: 0,
+            };
+        }
+        let total_volume: f64 = jobs.iter().map(|j| j.volume.max(0.0)).sum();
+        let max_dom = jobs
+            .iter()
+            .map(|j| j.dominant)
+            .fold(0.0f64, f64::max)
+            .clamp(0.0, 0.99);
+        let max_etime = jobs.iter().map(|j| j.etime).fold(0.0f64, f64::max);
+        let g_volume = (total_volume / (1.0 - max_dom)).max(1.0).log2().ceil() as i64;
+        let g_etime = max_etime.max(1.0).log2().ceil() as i64;
+        let g = g_volume.max(g_etime).max(1).min(MAX_LEVELS as i64) as u32;
+        let mut selected_count = 0usize;
+        for l in 1..=g {
+            let horizon = (2f64).powi(l as i32);
+            let candidates: Vec<usize> = (0..n).filter(|&i| jobs[i].etime <= horizon).collect();
+            if candidates.is_empty() {
+                continue;
+            }
+            let weights: Vec<f64> = candidates
+                .iter()
+                .map(|&i| jobs[i].volume.max(0.0))
+                .collect();
+            let picked = unit_profit_knapsack(&weights, horizon);
+            for &pos in &picked {
+                let i = candidates[pos];
+                if priorities[i] == PRIORITY_UNSELECTED {
+                    priorities[i] = l;
+                    selected_count += 1;
+                    let target = jobs[i].etime / horizon;
+                    copies[i] = jobs[i]
+                        .speedup
+                        .min_copies_for(target)
+                        .unwrap_or(1)
+                        .clamp(1, cfg.max_copies.max(1));
+                }
+            }
+            if selected_count == n {
+                break;
+            }
+        }
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            priorities[a]
+                .cmp(&priorities[b])
+                .then(
+                    jobs[a]
+                        .volume
+                        .partial_cmp(&jobs[b].volume)
+                        .unwrap_or(std::cmp::Ordering::Equal),
+                )
+                .then(jobs[a].id.cmp(&jobs[b].id))
+        });
+        TransientOutput {
+            priorities,
+            recommended_copies: copies,
+            order,
+            levels: g,
+        }
+    }
+
+    #[test]
+    fn infinite_volume_never_packed_like_reference() {
+        let mut jobs = vec![job(0, 1.0, 2.0), job(1, f64::INFINITY, 2.0)];
+        jobs.push(job(2, 2.0, 3.0));
+        let cfg = TransientConfig::default();
+        let out = transient_schedule(&jobs, &cfg);
+        assert_eq!(out.priorities[1], PRIORITY_UNSELECTED);
+        assert_eq!(out, reference_transient_schedule(&jobs, &cfg));
+    }
+
+    #[test]
+    fn summary_cache_reuses_unchanged_fingerprints() {
+        let spec = JobSpec::single_phase(JobId(7), 4, Resources::new(1.0, 2.0), 10.0, 2.0);
+        let totals = Resources::new(100.0, 200.0);
+        let mut cache = SummaryCache::new();
+        let input = |rem: u32| SummaryInput {
+            spec: &spec,
+            remaining_tasks: vec![rem],
+            finished_phases: vec![rem == 0],
+        };
+        let a = cache.summarize(&[input(4)], totals, 1.5);
+        assert_eq!(cache.len(), 1);
+        let direct = TransientJob::from_remaining(&spec, &[4], &[false], totals, 1.5);
+        assert_eq!(a[0], direct);
+        // Unchanged fingerprint → the cached summary is returned verbatim.
+        let b = cache.summarize(&[input(4)], totals, 1.5);
+        assert_eq!(b[0], direct);
+        // Progress changes the fingerprint → recomputed, not stale.
+        let c = cache.summarize(&[input(2)], totals, 1.5);
+        assert_eq!(
+            c[0],
+            TransientJob::from_remaining(&spec, &[2], &[false], totals, 1.5)
+        );
+        assert!(c[0].volume < a[0].volume);
+        cache.remove(JobId(7));
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn summary_cache_invalidates_on_context_change() {
+        let spec = JobSpec::single_phase(JobId(1), 2, Resources::new(1.0, 1.0), 8.0, 1.0);
+        let mut cache = SummaryCache::new();
+        let input = || SummaryInput {
+            spec: &spec,
+            remaining_tasks: vec![2],
+            finished_phases: vec![false],
+        };
+        let small = cache.summarize(&[input()], Resources::new(10.0, 10.0), 1.5);
+        // Doubling the cluster halves normalized volume; a stale entry
+        // would return the old value.
+        let big = cache.summarize(&[input()], Resources::new(20.0, 20.0), 1.5);
+        assert!(big[0].volume < small[0].volume);
+        // σ-weight change also invalidates.
+        let heavier = cache.summarize(&[input()], Resources::new(20.0, 20.0), 3.0);
+        assert!(heavier[0].etime > big[0].etime);
     }
 }

@@ -9,12 +9,17 @@ use dollymp_cluster::prelude::*;
 use dollymp_core::job::TaskRef;
 use dollymp_core::online::best_fit_score;
 use dollymp_core::resources::Resources;
+use std::cell::Cell;
 use std::collections::HashMap;
 
 /// Tracks tentative resource commitments while one scheduling batch is
 /// being constructed.
 pub struct FreeTracker {
     free: Vec<Resources>,
+    /// Component-wise max over `free` — the O(1) "could anything fit?"
+    /// summary. `None` after a commit shrank the previous max holder;
+    /// recomputed lazily on the next query.
+    max_free: Cell<Option<Resources>>,
     /// Extra copies committed in this batch, per task.
     pending_copies: HashMap<TaskRef, u32>,
 }
@@ -22,8 +27,14 @@ pub struct FreeTracker {
 impl FreeTracker {
     /// Snapshot the view's free resources.
     pub fn new(view: &ClusterView<'_>) -> Self {
+        let free: Vec<Resources> = view.servers().map(|(_, _, f)| f).collect();
+        let max = free
+            .iter()
+            .copied()
+            .fold(Resources::new(0.0, 0.0), Resources::max);
         FreeTracker {
-            free: view.servers().map(|(_, _, f)| f).collect(),
+            free,
+            max_free: Cell::new(Some(max)),
             pending_copies: HashMap::new(),
         }
     }
@@ -31,6 +42,31 @@ impl FreeTracker {
     /// Remaining free resources on a server, net of this batch.
     pub fn free(&self, s: ServerId) -> Resources {
         self.free[s.0 as usize]
+    }
+
+    /// Per-dimension max of free resources over all servers, net of this
+    /// batch.
+    pub fn max_free(&self) -> Resources {
+        match self.max_free.get() {
+            Some(m) => m,
+            None => {
+                let m = self
+                    .free
+                    .iter()
+                    .copied()
+                    .fold(Resources::new(0.0, 0.0), Resources::max);
+                self.max_free.set(Some(m));
+                m
+            }
+        }
+    }
+
+    /// O(1) pre-check: if `demand` does not fit the per-dimension max of
+    /// free capacity, it fits **no** server and the full scan can be
+    /// skipped. (The converse does not hold — the max mixes dimensions
+    /// from different servers — so a `true` still requires a real scan.)
+    pub fn could_fit(&self, demand: Resources) -> bool {
+        demand.fits_in(self.max_free())
     }
 
     /// Total remaining free resources, net of this batch.
@@ -50,11 +86,14 @@ impl FreeTracker {
 
     /// Does `demand` fit some server right now?
     pub fn fits_anywhere(&self, demand: Resources) -> bool {
-        self.free.iter().any(|f| demand.fits_in(*f))
+        self.could_fit(demand) && self.free.iter().any(|f| demand.fits_in(*f))
     }
 
     /// First server (by id) with room for `demand`.
     pub fn first_fit(&self, demand: Resources) -> Option<ServerId> {
+        if !self.could_fit(demand) {
+            return None;
+        }
         self.free
             .iter()
             .position(|f| demand.fits_in(*f))
@@ -64,6 +103,9 @@ impl FreeTracker {
     /// Server maximizing the Tetris alignment score `demand · free`
     /// among those with room.
     pub fn best_fit(&self, demand: Resources) -> Option<ServerId> {
+        if !self.could_fit(demand) {
+            return None;
+        }
         let mut best: Option<(f64, usize)> = None;
         for (i, f) in self.free.iter().enumerate() {
             if !demand.fits_in(*f) {
@@ -83,9 +125,17 @@ impl FreeTracker {
     /// Panics if it does not fit — callers must check first.
     pub fn commit(&mut self, server: ServerId, demand: Resources) {
         let f = &mut self.free[server.0 as usize];
+        let before = *f;
         *f = f
             .checked_sub(demand)
             .expect("FreeTracker::commit without a fit check");
+        // Only a commit on a server that held a per-dimension max can
+        // lower the max summary.
+        if let Some(m) = self.max_free.get() {
+            if before.cpu() >= m.cpu() || before.mem() >= m.mem() {
+                self.max_free.set(None);
+            }
+        }
     }
 
     /// Copies of `task` live in the view **plus** committed in this batch.
@@ -94,7 +144,13 @@ impl FreeTracker {
             .job(task.job)
             .map(|j| j.task(task.phase, task.task).live_copies())
             .unwrap_or(0);
-        live + self.pending_copies.get(&task).copied().unwrap_or(0)
+        live + self.pending_copies_of(task)
+    }
+
+    /// Copies committed to `task` in this batch only (no view lookup —
+    /// for callers that already know the live count).
+    pub fn pending_copies_of(&self, task: TaskRef) -> u32 {
+        self.pending_copies.get(&task).copied().unwrap_or(0)
     }
 
     /// Record that this batch adds one copy to `task`.
@@ -170,10 +226,34 @@ mod tests {
             assert_eq!(free.len(), 2);
             let order: Vec<JobId> = view.jobs().map(|j| j.id()).collect();
             let batch = place_in_job_order(view, &order, &mut free);
-            // After placing a full-server task, that server is exhausted.
             if !batch.is_empty() {
                 self.observed_fit = true;
-                assert!(free.free(batch[0].server).is_zero() || !free.is_empty());
+                // Every committed server's free shrank by exactly the sum
+                // of demands placed on it.
+                let mut committed: Vec<(ServerId, Resources)> = Vec::new();
+                for a in &batch {
+                    let demand = view
+                        .job(a.task.job)
+                        .expect("placed job is active")
+                        .spec()
+                        .phase(a.task.phase)
+                        .demand;
+                    match committed.iter_mut().find(|(s, _)| *s == a.server) {
+                        Some((_, d)) => *d += demand,
+                        None => committed.push((a.server, demand)),
+                    }
+                }
+                for &(server, demand) in &committed {
+                    let expected = view
+                        .free(server)
+                        .checked_sub(demand)
+                        .expect("tracker never over-commits");
+                    assert_eq!(
+                        free.free(server),
+                        expected,
+                        "server {server:?} free did not shrink by the committed demand"
+                    );
+                }
             }
             batch
         }

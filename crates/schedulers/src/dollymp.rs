@@ -20,10 +20,23 @@
 
 use crate::common::{ready_tasks_of, FreeTracker, ReadyTask};
 use dollymp_cluster::prelude::*;
-use dollymp_core::job::JobId;
+use dollymp_core::job::{JobId, TaskRef};
 use dollymp_core::online::{best_fit_score, ClonePolicy, PriorityTable};
 use dollymp_core::resources::Resources;
-use dollymp_core::transient::{transient_schedule, TransientConfig, TransientJob};
+use dollymp_core::transient::{
+    transient_schedule, SummaryCache, SummaryInput, TransientConfig, TransientJob,
+};
+use std::collections::{HashMap, HashSet};
+
+/// A cloning candidate: a task of a §4.1-eligible job, with its demand
+/// and view-side copy count cached so the per-pass budget filter does
+/// not have to re-resolve the job.
+#[derive(Debug, Clone, Copy)]
+struct CloneCandidate {
+    task: TaskRef,
+    demand: Resources,
+    live_copies: u32,
+}
 
 /// The DollyMP scheduler (Algorithm 2). `DollyMP::with_clones(r)` builds
 /// the paper's DollyMP^r variants.
@@ -34,6 +47,10 @@ pub struct DollyMP {
     /// Cloning budget and §4.1 small-job gate.
     pub clone_policy: ClonePolicy,
     table: PriorityTable,
+    /// Eq. 16/17 job summaries memoized across arrivals (jobs whose
+    /// remaining work is unchanged are not re-summarized).
+    cache: SummaryCache,
+    use_summary_cache: bool,
 }
 
 impl DollyMP {
@@ -57,7 +74,19 @@ impl DollyMP {
             },
             clone_policy,
             table: PriorityTable::default(),
+            cache: SummaryCache::new(),
+            use_summary_cache: true,
         }
+    }
+
+    /// Disable the Algorithm 1 summary cache and recompute every job
+    /// summary from scratch at each arrival. Decisions are identical
+    /// either way — this hook exists so tests can pin that equivalence
+    /// (and to measure the cache's benefit in benchmarks).
+    pub fn without_summary_cache(mut self) -> Self {
+        self.use_summary_cache = false;
+        self.cache.clear();
+        self
     }
 
     /// Override the §4.1 small-job gate `δ`.
@@ -75,20 +104,32 @@ impl DollyMP {
     fn refresh_priorities(&mut self, view: &ClusterView<'_>) {
         let totals = view.totals();
         let w = self.transient.sigma_weight;
-        let inputs: Vec<TransientJob> = view
+        let inputs: Vec<SummaryInput<'_>> = view
             .jobs()
-            .map(|j| {
-                TransientJob::from_remaining(
-                    j.spec(),
-                    &j.remaining_tasks(),
-                    &j.finished_phases(),
-                    totals,
-                    w,
-                )
+            .map(|j| SummaryInput {
+                spec: j.spec(),
+                remaining_tasks: j.remaining_tasks(),
+                finished_phases: j.finished_phases(),
             })
             .collect();
-        let out = transient_schedule(&inputs, &self.transient);
-        self.table = PriorityTable::from_output(&inputs, &out);
+        let summaries: Vec<TransientJob> = if self.use_summary_cache {
+            self.cache.summarize(&inputs, totals, w)
+        } else {
+            inputs
+                .iter()
+                .map(|i| {
+                    TransientJob::from_remaining(
+                        i.spec,
+                        &i.remaining_tasks,
+                        &i.finished_phases,
+                        totals,
+                        w,
+                    )
+                })
+                .collect()
+        };
+        let out = transient_schedule(&summaries, &self.transient);
+        self.table = PriorityTable::from_output(&summaries, &out);
     }
 
     /// Jobs grouped by ascending priority level.
@@ -115,8 +156,7 @@ impl DollyMP {
         // priority group, so the hot argmax loop below is pure array
         // traversal with no hashing.
         let mut flat: Vec<(Resources, Vec<ReadyTask>)> = Vec::new();
-        let mut job_buckets: std::collections::HashMap<JobId, (usize, usize)> =
-            std::collections::HashMap::new();
+        let mut job_buckets: HashMap<JobId, (usize, usize)> = HashMap::new();
         let mut ready_count: usize = 0;
         let mut min_demand: Option<Resources> = None;
         for j in view.jobs() {
@@ -142,14 +182,45 @@ impl DollyMP {
             return out;
         }
         let min_demand = min_demand.expect("ready_count > 0");
-        // Bucket index ranges per priority group, in group order.
-        let group_ranges: Vec<Vec<(usize, usize)>> = groups
+        if !free.could_fit(min_demand) {
+            // Nothing fits anywhere in the cluster — skip the server walk.
+            return out;
+        }
+        // Per priority group, buckets collapsed by *distinct demand*: all
+        // buckets sharing a demand have the same Tetris score against any
+        // server, and the scan's strict `score > best` keeps the first
+        // seen, so the argmax only needs one entry per distinct demand —
+        // its frontmost alive bucket in group order. Exact-score ties
+        // *across* demands break toward the smaller group position,
+        // reproducing the first-seen-wins bucket scan verbatim. Task
+        // demands are coarse in practice, so this turns an O(#jobs)
+        // per-placement scan into an O(#distinct demands) one.
+        struct DemandQueue {
+            demand: Resources,
+            /// (group-order position, bucket index) — FIFO in group order.
+            buckets: std::collections::VecDeque<(u32, u32)>,
+        }
+        let mut group_queues: Vec<Vec<DemandQueue>> = groups
             .iter()
             .map(|(_, members)| {
-                members
-                    .iter()
-                    .filter_map(|jid| job_buckets.get(jid).copied())
-                    .collect()
+                let mut qs: Vec<DemandQueue> = Vec::new();
+                let mut pos = 0u32;
+                for &jid in members {
+                    let Some(&(lo, hi)) = job_buckets.get(&jid) else {
+                        continue;
+                    };
+                    for (bidx, &(demand, _)) in flat.iter().enumerate().take(hi).skip(lo) {
+                        match qs.iter_mut().find(|q| q.demand == demand) {
+                            Some(q) => q.buckets.push_back((pos, bidx as u32)),
+                            None => qs.push(DemandQueue {
+                                demand,
+                                buckets: std::collections::VecDeque::from([(pos, bidx as u32)]),
+                            }),
+                        }
+                        pos += 1;
+                    }
+                }
+                qs
             })
             .collect();
 
@@ -163,21 +234,32 @@ impl DollyMP {
                 }
                 // Highest-priority level with a fitting task; within the
                 // level, the best-aligned demand bucket (step 12).
-                for ranges in &group_ranges {
-                    let mut best: Option<(f64, usize)> = None;
-                    for &(lo, hi) in ranges {
-                        for (idx, (demand, tasks)) in flat[lo..hi].iter().enumerate() {
-                            if tasks.is_empty() || !demand.fits_in(avail) {
-                                continue;
-                            }
-                            let score = best_fit_score(*demand, avail);
-                            if best.map(|(b, _)| score > b).unwrap_or(true) {
-                                best = Some((score, lo + idx));
-                            }
+                for qs in &mut group_queues {
+                    let mut best: Option<(f64, u32, usize)> = None;
+                    for (qi, q) in qs.iter().enumerate() {
+                        let Some(&(pos, _)) = q.buckets.front() else {
+                            continue;
+                        };
+                        if !q.demand.fits_in(avail) {
+                            continue;
+                        }
+                        let score = best_fit_score(q.demand, avail);
+                        let better = match best {
+                            None => true,
+                            Some((b, bpos, _)) => score > b || (score == b && pos < bpos),
+                        };
+                        if better {
+                            best = Some((score, pos, qi));
                         }
                     }
-                    if let Some((_, idx)) = best {
-                        let rt = flat[idx].1.pop().expect("non-empty bucket");
+                    if let Some((_, _, qi)) = best {
+                        let q = &mut qs[qi];
+                        let &(_, bidx) = q.buckets.front().expect("non-empty queue");
+                        let bucket = &mut flat[bidx as usize].1;
+                        let rt = bucket.pop().expect("non-empty bucket");
+                        if bucket.is_empty() {
+                            q.buckets.pop_front();
+                        }
                         free.commit(server, rt.demand);
                         free.note_copy(rt.task);
                         out.push(Assignment {
@@ -198,37 +280,37 @@ impl DollyMP {
         out
     }
 
-    /// One clone pass over leftover resources (Algorithm 2 step 16).
+    /// Clone candidates for this decision point, in priority order
+    /// (Algorithm 2 step 16's input set).
     ///
-    /// Clone candidates are the tasks already running in the view *plus*
-    /// the primaries placed earlier in this very batch (`newly_placed`) —
-    /// the paper clones small jobs "when they are scheduled" (Fig. 2), not
-    /// one decision point later.
-    fn place_clones(
+    /// Candidates are the tasks already running in the view *plus* the
+    /// primaries placed earlier in this very batch (`newly_placed`) — the
+    /// paper clones small jobs "when they are scheduled" (Fig. 2), not one
+    /// decision point later. The §4.1 gate, remaining volumes, and the
+    /// candidate walk depend only on the immutable view and the primary
+    /// batch, so this is computed **once** per decision point and shared
+    /// by both clone passes; the per-pass copy-budget filters are applied
+    /// at queue-build time inside [`Self::place_clones`].
+    fn clone_candidates(
         &self,
         view: &ClusterView<'_>,
         groups: &[(u32, Vec<JobId>)],
-        newly_placed: &std::collections::HashMap<JobId, Vec<dollymp_core::job::TaskRef>>,
-        cloned_this_batch: &mut std::collections::HashSet<dollymp_core::job::TaskRef>,
-        server_order: &[ServerId],
-        free: &mut FreeTracker,
-    ) -> Vec<Assignment> {
+        newly_placed: &HashMap<JobId, Vec<TaskRef>>,
+    ) -> Vec<CloneCandidate> {
         if self.clone_policy.max_copies <= 1 {
             return Vec::new();
         }
         let w = self.transient.sigma_weight;
-        let mut out = Vec::new();
-        // Remaining volumes, computed once per pass (the §4.1 gate needs
-        // every job's volume against the sum of the others'; recomputing
-        // per candidate would make this pass quadratic).
+        // Remaining volumes, computed once (the §4.1 gate needs every
+        // job's volume against the sum of the others'; recomputing per
+        // candidate would make this pass quadratic).
         let totals = view.totals();
-        let volumes: std::collections::HashMap<JobId, f64> = view
+        let volumes: HashMap<JobId, f64> = view
             .jobs()
             .map(|j| (j.id(), j.remaining_volume(totals, w)))
             .collect();
         let total_volume: f64 = volumes.values().sum();
-        // Clone requests in priority order; placed server-driven below.
-        let mut queue: Vec<(dollymp_core::job::TaskRef, Resources)> = Vec::new();
+        let mut out: Vec<CloneCandidate> = Vec::new();
         for (_, members) in groups {
             for &jid in members {
                 let Some(job) = view.job(jid) else { continue };
@@ -243,23 +325,80 @@ impl DollyMP {
                     candidates.extend(extra.iter().copied());
                 }
                 for task in candidates {
-                    if free.effective_copies(view, task) >= self.clone_policy.max_copies {
-                        continue;
-                    }
-                    // At most one new clone per task per decision point:
-                    // the RM grants clone containers round by round
-                    // ("repeat Step 9" spans allocation rounds, not one
-                    // batch), so a task's second clone can only arrive at
-                    // a later decision point.
-                    if cloned_this_batch.contains(&task) {
-                        continue;
-                    }
-                    let demand = job.spec().phase(task.phase).demand;
-                    queue.push((task, demand));
+                    out.push(CloneCandidate {
+                        task,
+                        demand: job.spec().phase(task.phase).demand,
+                        // Copies live in the (immutable) view — cached so
+                        // the per-pass budget filter needs no job lookup.
+                        live_copies: job.task(task.phase, task.task).live_copies(),
+                    });
                 }
             }
         }
-        if queue.is_empty() {
+        out
+    }
+
+    /// One clone pass over leftover resources (Algorithm 2 step 16).
+    ///
+    /// `candidates` comes from [`Self::clone_candidates`]; the filters
+    /// that change between passes (copy budget, one-new-clone-per-task)
+    /// are applied here.
+    ///
+    /// The priority-ordered request queue is kept as one FIFO per
+    /// *distinct demand*. Free capacity on a server only shrinks during
+    /// its scan, so a request that does not fit when passed over never
+    /// fits later on that server — picking the earliest-position request
+    /// that fits, repeatedly, places exactly the same set as a sequential
+    /// walk of the flat queue, while costing `O(placements × #demands)`
+    /// instead of `O(queue length)` per server.
+    fn place_clones(
+        &self,
+        candidates: &[CloneCandidate],
+        cloned_this_batch: &mut HashSet<TaskRef>,
+        server_order: &[ServerId],
+        free: &mut FreeTracker,
+    ) -> Vec<Assignment> {
+        let mut out = Vec::new();
+        struct CloneQueue {
+            demand: Resources,
+            /// (priority-order position, task) — FIFO in priority order.
+            tasks: std::collections::VecDeque<(u32, TaskRef)>,
+        }
+        let mut queues: Vec<CloneQueue> = Vec::new();
+        let mut pos = 0u32;
+        let mut remaining = 0usize;
+        let mut min_demand: Option<Resources> = None;
+        for &CloneCandidate {
+            task,
+            demand,
+            live_copies,
+        } in candidates
+        {
+            // At most one new clone per task per decision point: the RM
+            // grants clone containers round by round ("repeat Step 9"
+            // spans allocation rounds, not one batch), so a task's second
+            // clone can only arrive at a later decision point.
+            if cloned_this_batch.contains(&task) {
+                continue;
+            }
+            if live_copies + free.pending_copies_of(task) >= self.clone_policy.max_copies {
+                continue;
+            }
+            min_demand = Some(match min_demand {
+                Some(m) => m.min(demand),
+                None => demand,
+            });
+            match queues.iter_mut().find(|q| q.demand == demand) {
+                Some(q) => q.tasks.push_back((pos, task)),
+                None => queues.push(CloneQueue {
+                    demand,
+                    tasks: std::collections::VecDeque::from([(pos, task)]),
+                }),
+            }
+            pos += 1;
+            remaining += 1;
+        }
+        if remaining == 0 {
             return out;
         }
 
@@ -267,33 +406,49 @@ impl DollyMP {
         // clone requests as heartbeats come in): walk servers in order and
         // satisfy the queue in priority order. A global min-demand bound
         // skips exhausted servers in O(1).
-        let min_demand = queue
-            .iter()
-            .map(|&(_, d)| d)
-            .reduce(|a, b| a.min(b))
-            .expect("non-empty queue");
+        let min_demand = min_demand.expect("remaining > 0");
+        if !free.could_fit(min_demand) {
+            // No server in the whole cluster has room for even the
+            // smallest request — skip the server walk entirely.
+            return out;
+        }
         for &server in server_order {
-            if queue.is_empty() {
+            if remaining == 0 {
                 break;
             }
             if !min_demand.fits_in(free.free(server)) {
                 continue;
             }
-            let mut i = 0;
-            while i < queue.len() {
-                let (task, demand) = queue[i];
-                if demand.fits_in(free.free(server)) {
-                    free.commit(server, demand);
-                    free.note_copy(task);
-                    cloned_this_batch.insert(task);
-                    out.push(Assignment {
-                        task,
-                        server,
-                        kind: CopyKind::Clone,
-                    });
-                    queue.remove(i);
-                } else {
-                    i += 1;
+            loop {
+                let avail = free.free(server);
+                // Earliest-position request that fits the current free.
+                let mut best: Option<(u32, usize)> = None;
+                for (qi, q) in queues.iter().enumerate() {
+                    let Some(&(p, _)) = q.tasks.front() else {
+                        continue;
+                    };
+                    if !q.demand.fits_in(avail) {
+                        continue;
+                    }
+                    if best.map(|(bp, _)| p < bp).unwrap_or(true) {
+                        best = Some((p, qi));
+                    }
+                }
+                let Some((_, qi)) = best else { break };
+                let q = &mut queues[qi];
+                let (_, task) = q.tasks.pop_front().expect("non-empty queue");
+                let demand = q.demand;
+                free.commit(server, demand);
+                free.note_copy(task);
+                cloned_this_batch.insert(task);
+                out.push(Assignment {
+                    task,
+                    server,
+                    kind: CopyKind::Clone,
+                });
+                remaining -= 1;
+                if remaining == 0 {
+                    break;
                 }
             }
         }
@@ -318,6 +473,7 @@ impl Scheduler for DollyMP {
 
     fn on_job_finish(&mut self, job: &dollymp_cluster::state::JobState) {
         self.table.remove(job.id());
+        self.cache.remove(job.id());
     }
 
     fn schedule(&mut self, view: &ClusterView<'_>) -> Vec<Assignment> {
@@ -338,25 +494,20 @@ impl DollyMP {
         let groups = self.priority_groups(view);
         let mut free = FreeTracker::new(view);
         let batch = self.place_primaries(view, &groups, server_order, &mut free);
-        let mut newly_placed: std::collections::HashMap<JobId, Vec<dollymp_core::job::TaskRef>> =
-            std::collections::HashMap::new();
+        let mut newly_placed: HashMap<JobId, Vec<TaskRef>> = HashMap::new();
         for a in &batch {
             newly_placed.entry(a.task.job).or_default().push(a.task);
         }
         let mut batch = batch;
         // "Repeat Step 9 twice if there are available resources" — but at
         // most one *new* clone per task per decision point (clone
-        // containers are granted round by round).
-        let mut cloned_this_batch = std::collections::HashSet::new();
+        // containers are granted round by round). The candidate set is
+        // invariant across the two passes, so it is collected once.
+        let candidates = self.clone_candidates(view, &groups, &newly_placed);
+        let mut cloned_this_batch = HashSet::new();
         for _ in 0..2 {
-            let clones = self.place_clones(
-                view,
-                &groups,
-                &newly_placed,
-                &mut cloned_this_batch,
-                server_order,
-                &mut free,
-            );
+            let clones =
+                self.place_clones(&candidates, &mut cloned_this_batch, server_order, &mut free);
             if clones.is_empty() {
                 break;
             }

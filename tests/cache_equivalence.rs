@@ -1,0 +1,113 @@
+//! Regression pin for the incremental Algorithm 1 path: DollyMP with the
+//! job-summary cache enabled (the default) must produce *identical*
+//! scheduling batches to the cache-free path on a seeded workload. The
+//! cache only memoizes a pure function of (remaining work, cluster
+//! totals, σ-weight), so any divergence here is a bug in the
+//! fingerprinting, not an acceptable approximation.
+
+use dollymp::prelude::*;
+
+fn seeded_workload() -> (ClusterSpec, Vec<JobSpec>, DurationSampler) {
+    let cluster = ClusterSpec::paper_30_node();
+    let mut jobs = Vec::new();
+    for i in 0..60u64 {
+        let (n, theta) = match i % 4 {
+            0 => (20, 40.0),
+            1 => (4, 8.0),
+            2 => (8, 12.0),
+            _ => (2, 5.0),
+        };
+        jobs.push(
+            JobSpec::builder(JobId(i))
+                .arrival(i * 3)
+                .phase(dollymp_core::job::PhaseSpec::new(
+                    n,
+                    Resources::new(1.0 + (i % 3) as f64, 4.0),
+                    theta,
+                    theta / 2.0,
+                ))
+                .build()
+                .expect("valid job spec"),
+        );
+    }
+    let sampler = DurationSampler::new(23, StragglerModel::ParetoFit);
+    (cluster, jobs, sampler)
+}
+
+#[test]
+fn summary_cache_does_not_change_decisions() {
+    let (cluster, jobs, sampler) = seeded_workload();
+    for clones in [0u32, 1, 2] {
+        let mut cached = DollyMP::with_clones(clones);
+        let r_cached = simulate(
+            &cluster,
+            jobs.clone(),
+            &sampler,
+            &mut cached,
+            &EngineConfig::default(),
+        );
+        let mut uncached = DollyMP::with_clones(clones).without_summary_cache();
+        let r_uncached = simulate(
+            &cluster,
+            jobs.clone(),
+            &sampler,
+            &mut uncached,
+            &EngineConfig::default(),
+        );
+        assert_eq!(
+            r_cached.jobs, r_uncached.jobs,
+            "dollymp{clones}: per-job metrics diverged between cached and \
+             uncached Algorithm 1"
+        );
+        assert_eq!(r_cached.makespan, r_uncached.makespan, "dollymp{clones}");
+        assert_eq!(
+            r_cached.decision_points, r_uncached.decision_points,
+            "dollymp{clones}"
+        );
+    }
+}
+
+#[test]
+fn summary_cache_equivalence_with_multi_phase_jobs() {
+    // Phase completions change the remaining-work fingerprint mid-run;
+    // the cache must recompute exactly those jobs.
+    let cluster = ClusterSpec::homogeneous(8, 4.0, 8.0);
+    let mut jobs = Vec::new();
+    for i in 0..12u64 {
+        jobs.push(
+            JobSpec::builder(JobId(i))
+                .arrival(i * 4)
+                .phase(dollymp_core::job::PhaseSpec::new(
+                    3,
+                    Resources::new(1.0, 2.0),
+                    6.0 + (i % 5) as f64,
+                    2.0,
+                ))
+                .phase(
+                    dollymp_core::job::PhaseSpec::new(2, Resources::new(2.0, 2.0), 4.0, 1.0)
+                        .with_parents(vec![PhaseId(0)]),
+                )
+                .build()
+                .expect("valid job spec"),
+        );
+    }
+    let sampler = DurationSampler::new(5, StragglerModel::ParetoFit);
+    let mut cached = DollyMP::new();
+    let r_cached = simulate(
+        &cluster,
+        jobs.clone(),
+        &sampler,
+        &mut cached,
+        &EngineConfig::default(),
+    );
+    let mut uncached = DollyMP::new().without_summary_cache();
+    let r_uncached = simulate(
+        &cluster,
+        jobs,
+        &sampler,
+        &mut uncached,
+        &EngineConfig::default(),
+    );
+    assert_eq!(r_cached.jobs, r_uncached.jobs);
+    assert_eq!(r_cached.makespan, r_uncached.makespan);
+}

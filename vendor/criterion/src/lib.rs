@@ -1,0 +1,179 @@
+//! Offline vendored mini-`criterion`.
+//!
+//! Provides the `criterion_group!`/`criterion_main!`/`bench_function` surface
+//! with straightforward wall-clock measurement: a short warm-up, an adaptive
+//! inner-iteration count so fast routines are timed in ≥1 ms batches, and a
+//! `[min mean max]` per-iteration report line compatible with scripts that
+//! grep criterion's `time:` output. No statistical analysis or HTML reports.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            samples_ns: Vec::new(),
+        };
+        f(&mut b);
+        report(name, &b.samples_ns);
+        self
+    }
+}
+
+pub struct Bencher {
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `f` per call; fast routines are batched so each sample spans at
+    /// least ~1 ms of wall clock.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + calibration.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let inner = (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 1_000_000);
+        self.samples_ns = (0..self.sample_size)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..inner {
+                    black_box(f());
+                }
+                start.elapsed().as_nanos() as f64 / inner as f64
+            })
+            .collect();
+    }
+
+    /// Criterion's batched form: `setup` runs untimed before every routine
+    /// call; only `routine` is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Warm-up.
+        black_box(routine(setup()));
+        self.samples_ns = (0..self.sample_size)
+            .map(|_| {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                start.elapsed().as_nanos() as f64
+            })
+            .collect();
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn report(name: &str, samples_ns: &[f64]) {
+    if samples_ns.is_empty() {
+        println!("{name:<40} time:   [no samples]");
+        return;
+    }
+    let min = samples_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = samples_ns.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+    println!(
+        "{name:<40} time:   [{} {} {}]",
+        fmt_ns(min),
+        fmt_ns(mean),
+        fmt_ns(max)
+    );
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            $(
+                {
+                    let mut criterion: $crate::Criterion = $config;
+                    $target(&mut criterion);
+                }
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_records_samples() {
+        let mut c = Criterion::default().sample_size(5);
+        c.bench_function("spin", |b| b.iter(|| (0..100u64).sum::<u64>()));
+    }
+
+    #[test]
+    fn iter_batched_records_samples() {
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 1000],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+
+    #[test]
+    fn units_format() {
+        assert_eq!(fmt_ns(12.0), "12.00 ns");
+        assert_eq!(fmt_ns(1_500.0), "1.50 µs");
+        assert_eq!(fmt_ns(2_500_000.0), "2.500 ms");
+    }
+}

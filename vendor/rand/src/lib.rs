@@ -1,0 +1,327 @@
+//! Offline vendored mini-`rand`.
+//!
+//! The container this workspace builds in has no access to crates.io, so the
+//! workspace ships the tiny subset of the `rand 0.8` API it actually uses:
+//! [`rngs::SmallRng`], [`SeedableRng::seed_from_u64`], and the [`Rng`]
+//! extension methods `gen_range` / `gen_bool` / `gen`. The generator is
+//! xoshiro256++ seeded via splitmix64 — the same core algorithm real
+//! `rand 0.8` uses for `SmallRng` on 64-bit targets.
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction. Only `seed_from_u64` is provided because that is
+/// the only constructor the workspace calls.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types that `Rng::gen` can produce.
+pub trait StandardSample: Sized {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl StandardSample for f32 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64()) as f32
+    }
+}
+
+impl StandardSample for bool {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardSample for u64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+/// Map a random `u64` to a uniform `f64` in `[0, 1)` (53-bit mantissa).
+#[inline]
+fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Ranges that `Rng::gen_range` accepts.
+///
+/// The sampling algorithms below intentionally mirror `rand 0.8`'s uniform
+/// samplers **bit for bit** (Lemire widening-multiply with rejection for
+/// integers; the 52-bit `[1, 2)` mantissa method for floats), because the
+/// workspace's seeded statistical tests were calibrated against real
+/// `rand 0.8` value streams.
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty => $gen:ident: $u:ty, $wide:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let range = self.end.wrapping_sub(self.start) as $u;
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v = $gen(rng);
+                    let m = (v as $wide).wrapping_mul(range as $wide);
+                    let (hi, lo) = ((m >> <$u>::BITS) as $u, m as $u);
+                    if lo <= zone {
+                        return self.start.wrapping_add(hi as $t);
+                    }
+                }
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (low, high) = (*self.start(), *self.end());
+                assert!(low <= high, "gen_range: empty range");
+                let range = high.wrapping_sub(low).wrapping_add(1) as $u;
+                if range == 0 {
+                    // The range spans the whole type; any value works.
+                    return $gen(rng) as $t;
+                }
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v = $gen(rng);
+                    let m = (v as $wide).wrapping_mul(range as $wide);
+                    let (hi, lo) = ((m >> <$u>::BITS) as $u, m as $u);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $t);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+#[inline]
+fn gen_u64<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+    rng.next_u64()
+}
+
+#[inline]
+fn gen_u32<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+    // rand 0.8's SmallRng (xoshiro256++) truncates next_u64 for next_u32.
+    rng.next_u64() as u32
+}
+
+impl_int_range!(
+    u8 => gen_u32: u32, u64,
+    u16 => gen_u32: u32, u64,
+    u32 => gen_u32: u32, u64,
+    i8 => gen_u32: u32, u64,
+    i16 => gen_u32: u32, u64,
+    i32 => gen_u32: u32, u64,
+    u64 => gen_u64: u64, u128,
+    i64 => gen_u64: u64, u128,
+    usize => gen_u64: u64, u128,
+    isize => gen_u64: u64, u128,
+);
+
+/// Largest float strictly below `x` (positive finite `x`).
+#[inline]
+fn next_down(x: f64) -> f64 {
+    f64::from_bits(x.to_bits() - 1)
+}
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let mut scale = self.end - self.start;
+        loop {
+            // 52 random mantissa bits → value in [0, 1), as rand 0.8 does.
+            let value0_1 = (rng.next_u64() >> 12) as f64 * (1.0 / (1u64 << 52) as f64);
+            let res = value0_1 * scale + self.start;
+            if res < self.end {
+                return res;
+            }
+            scale = next_down(scale);
+        }
+    }
+}
+
+impl SampleRange<f64> for core::ops::RangeInclusive<f64> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (low, high) = (*self.start(), *self.end());
+        assert!(low <= high, "gen_range: empty range");
+        let mut scale = (high - low) / (1.0 - f64::EPSILON / 2.0);
+        loop {
+            let value0_1 = (rng.next_u64() >> 12) as f64 * (1.0 / (1u64 << 52) as f64);
+            let res = value0_1 * scale + low;
+            if res <= high {
+                return res;
+            }
+            scale = next_down(scale);
+        }
+    }
+}
+
+impl SampleRange<f32> for core::ops::Range<f32> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let mut scale = self.end - self.start;
+        loop {
+            // 23 random mantissa bits from a u32 draw, as rand 0.8 does.
+            let value0_1 = (gen_u32(rng) >> 9) as f32 * (1.0 / (1u32 << 23) as f32);
+            let res = value0_1 * scale + self.start;
+            if res < self.end {
+                return res;
+            }
+            scale = f32::from_bits(scale.to_bits() - 1);
+        }
+    }
+}
+
+impl SampleRange<f32> for core::ops::RangeInclusive<f32> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        let (low, high) = (*self.start(), *self.end());
+        assert!(low <= high, "gen_range: empty range");
+        let mut scale = (high - low) / (1.0 - f32::EPSILON / 2.0);
+        loop {
+            let value0_1 = (gen_u32(rng) >> 9) as f32 * (1.0 / (1u32 << 23) as f32);
+            let res = value0_1 * scale + low;
+            if res <= high {
+                return res;
+            }
+            scale = f32::from_bits(scale.to_bits() - 1);
+        }
+    }
+}
+
+/// The user-facing extension trait, blanket-implemented for every `RngCore`.
+pub trait Rng: RngCore {
+    #[inline]
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p not in [0,1]");
+        // rand 0.8's Bernoulli: integer threshold compare; p = 1.0 consumes
+        // no draw.
+        if p >= 1.0 {
+            return true;
+        }
+        let p_int = (p * 2.0 * (1u64 << 63) as f64) as u64;
+        self.next_u64() < p_int
+    }
+
+    #[inline]
+    fn gen<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::standard_sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — small, fast, and good enough for simulation workloads.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(mut state: u64) -> Self {
+            let s = [
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+            ];
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = r.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&x));
+            let y = r.gen_range(3usize..10);
+            assert!((3..10).contains(&y));
+            let f = r.gen_range(f64::MIN_POSITIVE..1.0);
+            assert!(f > 0.0 && f < 1.0);
+            let p: f64 = r.gen();
+            assert!((0.0..1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = SmallRng::seed_from_u64(9);
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+    }
+}

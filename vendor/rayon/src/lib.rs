@@ -1,0 +1,120 @@
+//! Offline vendored mini-`rayon`.
+//!
+//! Supports the one pattern the workspace uses —
+//! `slice.par_iter().map(f).collect::<Vec<_>>()` — with real parallelism:
+//! the input is split into one contiguous chunk per available core and each
+//! chunk is mapped on a scoped OS thread. Output order matches input order.
+
+use std::num::NonZeroUsize;
+
+fn thread_count(items: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    cores.min(items).max(1)
+}
+
+/// `.par_iter()` entry point, implemented for slices and `Vec`.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: 'a;
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    pub fn collect<C, R>(self) -> C
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+        C: From<Vec<R>>,
+    {
+        C::from(par_map_slice(self.items, &self.f))
+    }
+}
+
+/// Map `f` over `items` on scoped threads, preserving order.
+pub fn par_map_slice<'a, T, R, F>(items: &'a [T], f: &F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let nthreads = thread_count(items.len());
+    if nthreads == 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(nthreads);
+    let mut out: Vec<Vec<R>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|part| scope.spawn(move || part.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        out = handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon shim worker panicked"))
+            .collect();
+    });
+    out.into_iter().flatten().collect()
+}
+
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn maps_in_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let v: Vec<u64> = Vec::new();
+        let out: Vec<u64> = v.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,173 @@
+//! The dynamic value tree both `serde` traits and `serde_json` operate on.
+
+use std::cmp::Ordering;
+
+/// A JSON-shaped dynamic value. Integers keep their signedness so u64/i64
+/// round-trip exactly; floats are rendered by `serde_json` with Rust's
+/// shortest-round-trip formatting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    UInt(u64),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Human-readable kind name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::UInt(_) | Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(n) => Some(*n),
+            Value::Int(n) => u64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            Value::UInt(n) => i64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::UInt(n) => Some(*n as f64),
+            Value::Int(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|fields| fields.iter().find(|(k, _)| k == key))
+            .map(|(_, v)| v)
+    }
+
+    /// A total order used to sort hash-map entries deterministically.
+    /// Ordering across kinds is by kind rank; numbers compare numerically.
+    pub fn canonical_cmp(&self, other: &Value) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Bool(_) => 1,
+                Value::UInt(_) | Value::Int(_) | Value::Float(_) => 2,
+                Value::Str(_) => 3,
+                Value::Array(_) => 4,
+                Value::Object(_) => 5,
+            }
+        }
+        fn num(v: &Value) -> Option<f64> {
+            match v {
+                Value::UInt(n) => Some(*n as f64),
+                Value::Int(n) => Some(*n as f64),
+                Value::Float(f) => Some(*f),
+                _ => None,
+            }
+        }
+        match (self, other) {
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Array(a), Value::Array(b)) => {
+                for (x, y) in a.iter().zip(b.iter()) {
+                    let ord = x.canonical_cmp(y);
+                    if ord != Ordering::Equal {
+                        return ord;
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            (Value::Object(a), Value::Object(b)) => {
+                for ((ka, va), (kb, vb)) in a.iter().zip(b.iter()) {
+                    let ord = ka.cmp(kb).then_with(|| va.canonical_cmp(vb));
+                    if ord != Ordering::Equal {
+                        return ord;
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            _ => match (num(self), num(other)) {
+                (Some(a), Some(b)) => a.partial_cmp(&b).unwrap_or(Ordering::Equal),
+                _ => rank(self).cmp(&rank(other)),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::UInt(3).as_u64(), Some(3));
+        assert_eq!(Value::Int(-3).as_i64(), Some(-3));
+        assert_eq!(Value::Int(5).as_u64(), Some(5));
+        assert_eq!(Value::Str("x".into()).as_str(), Some("x"));
+        assert!(Value::Null.is_null());
+        let obj = Value::Object(vec![("k".into(), Value::Bool(true))]);
+        assert_eq!(obj.get("k"), Some(&Value::Bool(true)));
+        assert_eq!(obj.get("missing"), None);
+    }
+
+    #[test]
+    fn canonical_order_mixes_int_kinds() {
+        let mut vals = vec![Value::UInt(5), Value::Int(-1), Value::Float(2.5)];
+        vals.sort_by(|a, b| a.canonical_cmp(b));
+        assert_eq!(
+            vals,
+            vec![Value::Int(-1), Value::Float(2.5), Value::UInt(5)]
+        );
+    }
+}

@@ -1,0 +1,442 @@
+//! Offline vendored `serde_derive` shim.
+//!
+//! Generates `Serialize`/`Deserialize` impls for the vendored mini-serde by
+//! walking the raw `proc_macro::TokenStream` directly — no `syn`/`quote`
+//! (unavailable offline). Supports exactly what the workspace derives on:
+//! non-generic structs (named / newtype / tuple / unit) and non-generic enums
+//! (unit / newtype / tuple / struct variants). The only `#[serde(...)]`
+//! attribute understood is `#[serde(default)]` on a named struct field
+//! (fill with `Default::default()` when the field is absent); anything
+//! else inside `#[serde(...)]` panics rather than being silently ignored.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde shim: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde shim: generated Deserialize impl failed to parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: fill with `Default::default()` when missing.
+    default: bool,
+}
+
+enum Shape {
+    Unit,
+    Newtype,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+enum Kind {
+    Struct(Shape),
+    Enum(Vec<(String, Shape)>),
+}
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Skip leading attributes; report whether one of them was
+/// `#[serde(default)]`. Any other `#[serde(...)]` content panics (the
+/// shim must not silently change semantics).
+fn skip_attrs(toks: &mut Tokens) -> bool {
+    let mut has_default = false;
+    while let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        toks.next();
+        match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                let mut inner = g.stream().into_iter();
+                let is_serde = matches!(
+                    inner.next(),
+                    Some(TokenTree::Ident(id)) if id.to_string() == "serde"
+                );
+                if is_serde {
+                    match inner.next() {
+                        Some(TokenTree::Group(args))
+                            if args.delimiter() == Delimiter::Parenthesis
+                                && args.stream().to_string().trim() == "default" =>
+                        {
+                            has_default = true;
+                        }
+                        other => panic!(
+                            "serde shim: unsupported #[serde(...)] attribute \
+                             (only `default` is understood): {other:?}"
+                        ),
+                    }
+                }
+            }
+            other => panic!("serde shim: malformed attribute: {other:?}"),
+        }
+    }
+    has_default
+}
+
+fn skip_vis(toks: &mut Tokens) {
+    if let Some(TokenTree::Ident(id)) = toks.peek() {
+        if id.to_string() == "pub" {
+            toks.next();
+            if let Some(TokenTree::Group(g)) = toks.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    toks.next();
+                }
+            }
+        }
+    }
+}
+
+fn expect_ident(toks: &mut Tokens, what: &str) -> String {
+    match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim: expected {what}, found {other:?}"),
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+    skip_attrs(&mut toks);
+    skip_vis(&mut toks);
+    let kw = expect_ident(&mut toks, "`struct` or `enum`");
+    let name = expect_ident(&mut toks, "type name");
+    if let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() == '<' {
+            panic!("serde shim: generic type `{name}` is not supported");
+        }
+    }
+    let kind = match kw.as_str() {
+        "struct" => Kind::Struct(match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                match count_tuple_fields(g.stream()) {
+                    1 => Shape::Newtype,
+                    n => Shape::Tuple(n),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            other => panic!("serde shim: unexpected token after `struct {name}`: {other:?}"),
+        }),
+        "enum" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde shim: unexpected token after `enum {name}`: {other:?}"),
+        },
+        other => panic!("serde shim: cannot derive for `{other}` items"),
+    };
+    Item { name, kind }
+}
+
+/// Consume tokens up to a top-level `,` (angle-bracket aware, so commas in
+/// `BTreeMap<String, usize>` don't split fields). Returns false at stream end.
+fn skip_type(toks: &mut Tokens) -> bool {
+    let mut depth = 0i32;
+    for tok in toks.by_ref() {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return true,
+                _ => {}
+            }
+        }
+    }
+    false
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut toks = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let default = skip_attrs(&mut toks);
+        if toks.peek().is_none() {
+            return fields;
+        }
+        skip_vis(&mut toks);
+        fields.push(Field {
+            name: expect_ident(&mut toks, "field name"),
+            default,
+        });
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde shim: expected `:` after field name, found {other:?}"),
+        }
+        if !skip_type(&mut toks) {
+            return fields;
+        }
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut toks = stream.into_iter().peekable();
+    let mut count = 0;
+    loop {
+        skip_attrs(&mut toks);
+        if toks.peek().is_none() {
+            return count;
+        }
+        skip_vis(&mut toks);
+        if toks.peek().is_none() {
+            return count;
+        }
+        count += 1;
+        if !skip_type(&mut toks) {
+            return count;
+        }
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Shape)> {
+    let mut toks = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs(&mut toks);
+        if toks.peek().is_none() {
+            return variants;
+        }
+        let name = expect_ident(&mut toks, "variant name");
+        let shape = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let shape = match count_tuple_fields(g.stream()) {
+                    1 => Shape::Newtype,
+                    n => Shape::Tuple(n),
+                };
+                toks.next();
+                shape
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let shape = Shape::Named(parse_named_fields(g.stream()));
+                toks.next();
+                shape
+            }
+            _ => Shape::Unit,
+        };
+        variants.push((name, shape));
+        match toks.next() {
+            None => return variants,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            other => panic!("serde shim: expected `,` after variant, found {other:?}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (plain strings, parsed back into a TokenStream)
+// ---------------------------------------------------------------------------
+
+const VALUE: &str = "::serde::value::Value";
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Shape::Unit) => format!("{VALUE}::Null"),
+        Kind::Struct(Shape::Newtype) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::Struct(Shape::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("{VALUE}::Array(vec![{}])", items.join(", "))
+        }
+        Kind::Struct(Shape::Named(fields)) => ser_named_object("self.", fields),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, shape)| match shape {
+                    Shape::Unit => {
+                        format!("{name}::{v} => {VALUE}::Str(\"{v}\".to_string()),")
+                    }
+                    Shape::Newtype => format!(
+                        "{name}::{v}(__b0) => {VALUE}::Object(vec![(\"{v}\".to_string(), \
+                         ::serde::Serialize::to_value(__b0))]),"
+                    ),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__b{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => {VALUE}::Object(vec![(\"{v}\".to_string(), \
+                             {VALUE}::Array(vec![{}]))]),",
+                            binds.join(", "),
+                            items.join(", ")
+                        )
+                    }
+                    Shape::Named(fields) => {
+                        let inner = ser_named_object("", fields);
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        format!(
+                            "{name}::{v} {{ {} }} => {VALUE}::Object(vec![(\"{v}\".to_string(), \
+                             {inner})]),",
+                            binds.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> {VALUE} {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn ser_named_object(prefix: &str, fields: &[Field]) -> String {
+    let pairs: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            let f = &f.name;
+            format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&{prefix}{f}))")
+        })
+        .collect();
+    format!("{VALUE}::Object(vec![{}])", pairs.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Shape::Unit) => format!("{{ let _ = __v; Ok({name}) }}"),
+        Kind::Struct(Shape::Newtype) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Kind::Struct(Shape::Tuple(n)) => de_tuple(name, *n, "__v"),
+        Kind::Struct(Shape::Named(fields)) => de_named(name, fields, "__v"),
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, s)| matches!(s, Shape::Unit))
+                .map(|(v, _)| format!("\"{v}\" => Ok({name}::{v}),"))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(v, shape)| match shape {
+                    Shape::Unit => None,
+                    Shape::Newtype => Some(format!(
+                        "\"{v}\" => Ok({name}::{v}(::serde::Deserialize::from_value(__inner)?)),"
+                    )),
+                    Shape::Tuple(n) => Some(format!(
+                        "\"{v}\" => {},",
+                        de_tuple(&format!("{name}::{v}"), *n, "__inner")
+                    )),
+                    Shape::Named(fields) => Some(format!(
+                        "\"{v}\" => {},",
+                        de_named(&format!("{name}::{v}"), fields, "__inner")
+                    )),
+                })
+                .collect();
+            let str_arm = format!(
+                "{VALUE}::Str(__s) => match __s.as_str() {{ {} __other => \
+                 Err(::serde::Error::custom(format!(\"{name}: unknown variant {{__other}}\"))) \
+                 }},",
+                unit_arms.join(" ")
+            );
+            let obj_arm = if tagged_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "{VALUE}::Object(__fields) if __fields.len() == 1 => {{\n\
+                         let (__tag, __inner) = &__fields[0];\n\
+                         match __tag.as_str() {{ {} __other => \
+                         Err(::serde::Error::custom(format!(\"{name}: unknown variant \
+                         {{__other}}\"))) }}\n\
+                     }},",
+                    tagged_arms.join(" ")
+                )
+            };
+            format!(
+                "match __v {{ {str_arm} {obj_arm} __other => \
+                 Err(::serde::Error::custom(format!(\"{name}: expected variant, found {{}}\", \
+                 __other.kind()))) }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &{VALUE}) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 #[allow(unused_imports)] use ::std::result::Result::{{Ok, Err}};\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+/// Build `Ctor(from_value(&items[0])?, ...)` from an array-shaped value.
+fn de_tuple(ctor: &str, n: usize, src: &str) -> String {
+    let items: Vec<String> = (0..n)
+        .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+        .collect();
+    format!(
+        "{{\n\
+             let __items = {src}.as_array().ok_or_else(|| \
+             ::serde::Error::custom(\"{ctor}: expected array\"))?;\n\
+             if __items.len() != {n} {{\n\
+                 return Err(::serde::Error::custom(\"{ctor}: wrong tuple length\"));\n\
+             }}\n\
+             Ok({ctor}({}))\n\
+         }}",
+        items.join(", ")
+    )
+}
+
+/// Build `Ctor { f: from_value(get_field(fields, "f")?)?, ... }` from an
+/// object-shaped value.
+fn de_named(ctor: &str, fields: &[Field], src: &str) -> String {
+    if fields.is_empty() {
+        return format!("{{ let _ = {src}; Ok({ctor} {{}}) }}");
+    }
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            let name = &f.name;
+            if f.default {
+                format!(
+                    "{name}: match ::serde::get_field(__obj, \"{name}\") {{\n\
+                         Ok(__fv) => ::serde::Deserialize::from_value(__fv)?,\n\
+                         Err(_) => ::std::default::Default::default(),\n\
+                     }}"
+                )
+            } else {
+                format!(
+                    "{name}: ::serde::Deserialize::from_value(::serde::get_field(__obj, \
+                     \"{name}\")?)?"
+                )
+            }
+        })
+        .collect();
+    format!(
+        "{{\n\
+             let __obj = {src}.as_object().ok_or_else(|| \
+             ::serde::Error::custom(\"{ctor}: expected object\"))?;\n\
+             Ok({ctor} {{ {} }})\n\
+         }}",
+        inits.join(", ")
+    )
+}

@@ -17,12 +17,13 @@
 //! than silently skew an experiment.
 
 use crate::execution::DurationSampler;
-use crate::metrics::{CopyOutcome, CopySpan, JobMetrics, SchedOverhead, SimReport};
+use crate::fault::{FaultEvent, FaultTimeline};
+use crate::metrics::{CopyOutcome, CopySpan, FaultStats, JobMetrics, SchedOverhead, SimReport};
 use crate::scheduler::{Assignment, Scheduler};
-use crate::spec::ClusterSpec;
+use crate::spec::{ClusterSpec, ServerId};
 use crate::state::{CopyKind, CopyState, JobState, TaskStatus};
 use crate::view::ClusterView;
-use dollymp_core::job::{JobId, JobSpec, PhaseId, TaskRef};
+use dollymp_core::job::{JobId, JobSpec, PhaseId, TaskId, TaskRef};
 use dollymp_core::resources::Resources;
 use dollymp_core::time::Time;
 use serde::{Deserialize, Serialize};
@@ -107,6 +108,42 @@ pub fn simulate(
     scheduler: &mut dyn Scheduler,
     cfg: &EngineConfig,
 ) -> SimReport {
+    simulate_with_faults(
+        cluster,
+        jobs,
+        sampler,
+        scheduler,
+        cfg,
+        &FaultTimeline::empty(),
+    )
+}
+
+/// Deferred scheduler callback for a fault applied this slot: mutations
+/// happen first, then every hook runs against one consistent view.
+enum FaultHook {
+    Down(ServerId),
+    Up(ServerId),
+    Lost(TaskRef),
+}
+
+/// [`simulate`] under a fault schedule (see [`crate::fault`]).
+///
+/// Fault events fire at their slot *after* completions of that slot are
+/// retired and *before* arrivals and the scheduling pass, so a task
+/// re-queued by a crash is schedulable in the same slot its copies died.
+/// With an empty timeline this is byte-identical to [`simulate`].
+///
+/// Additional panics over [`simulate`]:
+/// * an assignment targeting a downed server;
+/// * a `Restore` for a server that is not down (generator bug).
+pub fn simulate_with_faults(
+    cluster: &ClusterSpec,
+    jobs: Vec<JobSpec>,
+    sampler: &DurationSampler,
+    scheduler: &mut dyn Scheduler,
+    cfg: &EngineConfig,
+    faults: &FaultTimeline,
+) -> SimReport {
     for j in &jobs {
         for (pi, p) in j.phases().iter().enumerate() {
             assert!(
@@ -139,6 +176,12 @@ pub fn simulate(
     let mut utilization: Vec<(Time, f64, f64)> = Vec::new();
     let mut timeline: Vec<CopySpan> = Vec::new();
     let mut now: Time = 0;
+    // Fault machinery. `down` is a *count* so overlapping crash windows
+    // (rack blackout + individual crash) compose; a server is up iff 0.
+    let mut down: Vec<u32> = vec![0; cluster.len()];
+    let mut speed_factor: Vec<f64> = vec![1.0; cluster.len()];
+    let mut fault_idx = 0usize;
+    let mut fstats = FaultStats::default();
 
     while !arrivals.is_empty() || !active.is_empty() {
         // Drop stale events (killed copies) from the heap front.
@@ -150,13 +193,14 @@ pub fn simulate(
         }
         let next_event = events.peek().map(|Reverse(e)| e.finish);
         let next_arrival = arrivals.last().map(|j| j.arrival);
+        let next_fault = faults.events().get(fault_idx).map(|f| f.at);
         // A periodic tick only matters while copies are in flight (it
         // exists to let progress monitors observe running stragglers).
         let next_tick = match (cfg.tick, next_event) {
             (Some(k), Some(_)) if !active.is_empty() => Some(now + k.max(1)),
             _ => None,
         };
-        let t = match [next_event, next_arrival, next_tick]
+        let t = match [next_event, next_arrival, next_tick, next_fault]
             .into_iter()
             .flatten()
             .min()
@@ -199,6 +243,45 @@ pub fn simulate(
             let job = active.remove(&id).expect("finished job present");
             done.push(job_metrics(&job, now));
             scheduler.on_job_finish(&job);
+        }
+
+        // 1b) Apply fault events due now — after completions (a copy
+        // finishing exactly at the crash slot completed first), before
+        // arrivals and scheduling (re-queued tasks compete this slot).
+        let mut hooks: Vec<FaultHook> = Vec::new();
+        while faults.events().get(fault_idx).is_some_and(|f| f.at <= now) {
+            let f = faults.events()[fault_idx];
+            fault_idx += 1;
+            apply_fault(
+                f.event,
+                now,
+                cluster,
+                totals,
+                &mut active,
+                &mut free,
+                &mut down,
+                &mut speed_factor,
+                &mut events,
+                &mut seq,
+                &mut fstats,
+                cfg.record_timeline.then_some(&mut timeline),
+                &mut hooks,
+            );
+        }
+        if !hooks.is_empty() {
+            let view = ClusterView {
+                now,
+                spec: cluster,
+                free: &free,
+                jobs: &active,
+            };
+            for h in &hooks {
+                match *h {
+                    FaultHook::Down(s) => scheduler.on_server_down(&view, s),
+                    FaultHook::Up(s) => scheduler.on_server_up(&view, s),
+                    FaultHook::Lost(t) => scheduler.on_task_lost(&view, t),
+                }
+            }
         }
 
         // 2) Admit arrivals.
@@ -244,7 +327,10 @@ pub fn simulate(
             overhead_samples.push(arrival_ns + schedule_ns);
             decision_points += 1;
 
-            let stalled_risk = events.is_empty() && arrivals.is_empty();
+            // Pending fault events are future decision points too: a
+            // fully-crashed cluster legitimately idles until a Restore.
+            let stalled_risk =
+                events.is_empty() && arrivals.is_empty() && fault_idx >= faults.len();
             assert!(
                 !(stalled_risk && batch.is_empty()),
                 "scheduler {} stalled at slot {now}: returned no assignments with \
@@ -260,6 +346,8 @@ pub fn simulate(
                     now,
                     &mut active,
                     &mut free,
+                    &down,
+                    &speed_factor,
                     &mut events,
                     &mut seq,
                     a,
@@ -287,7 +375,14 @@ pub fn simulate(
     debug_assert!(
         free.iter()
             .zip(cluster.servers())
-            .all(|(f, s)| *f == s.capacity),
+            .enumerate()
+            .all(|(i, (f, s))| {
+                if down[i] > 0 {
+                    *f == Resources::ZERO
+                } else {
+                    *f == s.capacity
+                }
+            }),
         "resource leak: free != capacity after drain"
     );
 
@@ -301,6 +396,7 @@ pub fn simulate(
         sched_overhead: SchedOverhead::from_samples(&overhead_samples),
         utilization,
         timeline,
+        faults: fstats,
     }
 }
 
@@ -311,9 +407,153 @@ fn copy_is_live(active: &BTreeMap<JobId, JobState>, ev: &Event) -> bool {
             j.task(ev.task.phase, ev.task.task)
                 .copies
                 .iter()
-                .any(|c| c.copy_idx == ev.copy_idx && c.live)
+                // The finish check drops events obsoleted by a fail-slow
+                // stretch (the copy re-queued a later event); without
+                // faults a copy's finish never changes, so it is inert.
+                .any(|c| c.copy_idx == ev.copy_idx && c.live && c.finish == ev.finish)
         })
         .unwrap_or(false)
+}
+
+/// Apply one fault event: mutate cluster/job state and queue the
+/// scheduler hooks to run once every event of the slot has landed.
+#[allow(clippy::too_many_arguments)]
+fn apply_fault(
+    event: FaultEvent,
+    now: Time,
+    cluster: &ClusterSpec,
+    totals: Resources,
+    active: &mut BTreeMap<JobId, JobState>,
+    free: &mut [Resources],
+    down: &mut [u32],
+    speed_factor: &mut [f64],
+    events: &mut BinaryHeap<Reverse<Event>>,
+    seq: &mut u64,
+    stats: &mut FaultStats,
+    mut timeline: Option<&mut Vec<CopySpan>>,
+    hooks: &mut Vec<FaultHook>,
+) {
+    let server = event.server();
+    let sid = server.0 as usize;
+    assert!(sid < cluster.len(), "fault event for unknown server {sid}");
+    match event {
+        FaultEvent::Crash(_) => {
+            down[sid] += 1;
+            if down[sid] > 1 {
+                // Already offline (overlapping blackout window): counted,
+                // nothing left to evict.
+                return;
+            }
+            stats.server_crashes += 1;
+            free[sid] = Resources::ZERO;
+            hooks.push(FaultHook::Down(server));
+            for (&jid, job) in active.iter_mut() {
+                for pi in 0..job.tasks.len() {
+                    let demand_norm = job
+                        .spec()
+                        .phase(PhaseId(pi as u32))
+                        .demand
+                        .normalized_sum(totals);
+                    for ti in 0..job.tasks[pi].len() {
+                        let tref = TaskRef {
+                            job: jid,
+                            phase: PhaseId(pi as u32),
+                            task: TaskId(ti as u32),
+                        };
+                        let task = &mut job.tasks[pi][ti];
+                        if task.status != TaskStatus::Running {
+                            continue;
+                        }
+                        let mut evicted = false;
+                        for c in task
+                            .copies
+                            .iter_mut()
+                            .filter(|c| c.live && c.server == server)
+                        {
+                            c.live = false;
+                            evicted = true;
+                            let wasted = demand_norm * now.saturating_sub(c.start) as f64;
+                            job.usage_norm += wasted;
+                            stats.copies_evicted += 1;
+                            stats.work_lost_norm += wasted;
+                            if let Some(tl) = timeline.as_deref_mut() {
+                                tl.push(CopySpan {
+                                    task: tref,
+                                    copy_idx: c.copy_idx,
+                                    server: c.server,
+                                    kind: c.kind,
+                                    start: c.start,
+                                    end: now,
+                                    outcome: CopyOutcome::Evicted,
+                                });
+                            }
+                        }
+                        if !evicted {
+                            continue;
+                        }
+                        if task.copies.iter().any(|c| c.live) {
+                            // A live clone elsewhere carries the task —
+                            // cloning as fault tolerance (§5.2's mechanism
+                            // repurposed).
+                            stats.tasks_saved_by_clone += 1;
+                        } else {
+                            // Work-conserving re-queue: all progress lost,
+                            // the task re-enters the ready pool.
+                            task.status = TaskStatus::Ready;
+                            stats.tasks_requeued += 1;
+                            hooks.push(FaultHook::Lost(tref));
+                        }
+                    }
+                }
+            }
+        }
+        FaultEvent::Restore(_) => {
+            assert!(
+                down[sid] > 0,
+                "restore at slot {now} for server {sid} that is not down"
+            );
+            down[sid] -= 1;
+            if down[sid] == 0 {
+                free[sid] = cluster.server(server).capacity;
+                stats.server_recoveries += 1;
+                hooks.push(FaultHook::Up(server));
+            }
+        }
+        FaultEvent::Degrade(_, factor) => {
+            speed_factor[sid] *= factor;
+            stats.server_degradations += 1;
+            // Stretch in-flight copies: the remaining slots inflate by the
+            // factor; the superseded heap event goes stale via the finish
+            // check in `copy_is_live`.
+            for (&jid, job) in active.iter_mut() {
+                for pi in 0..job.tasks.len() {
+                    for ti in 0..job.tasks[pi].len() {
+                        let tref = TaskRef {
+                            job: jid,
+                            phase: PhaseId(pi as u32),
+                            task: TaskId(ti as u32),
+                        };
+                        let task = &mut job.tasks[pi][ti];
+                        for c in task
+                            .copies
+                            .iter_mut()
+                            .filter(|c| c.live && c.server == server)
+                        {
+                            let remaining = c.finish.saturating_sub(now).max(1);
+                            c.finish = now + ((remaining as f64 / factor).ceil() as Time).max(1);
+                            *seq += 1;
+                            events.push(Reverse(Event {
+                                finish: c.finish,
+                                seq: *seq,
+                                task: tref,
+                                copy_idx: c.copy_idx,
+                            }));
+                        }
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// Retire the copy named by `ev` as the task's winner; kill siblings,
@@ -405,6 +645,8 @@ fn apply_assignment(
     now: Time,
     active: &mut BTreeMap<JobId, JobState>,
     free: &mut [Resources],
+    down: &[u32],
+    speed_factor: &[f64],
     events: &mut BinaryHeap<Reverse<Event>>,
     seq: &mut u64,
     a: Assignment,
@@ -428,8 +670,11 @@ fn apply_assignment(
 
     let task = &mut job.tasks[pi][ti];
     match a.kind {
+        // A re-queued task (crash evicted its last copy) carries dead
+        // copies from the lost attempt, so Ready + no *live* copy is the
+        // invariant, not an empty copy list.
         CopyKind::Primary => assert!(
-            task.status == TaskStatus::Ready && task.copies.is_empty(),
+            task.status == TaskStatus::Ready && task.copies.iter().all(|c| !c.live),
             "primary copy for task {} in state {:?}",
             a.task,
             task.status
@@ -451,6 +696,11 @@ fn apply_assignment(
 
     let sid = a.server.0 as usize;
     assert!(sid < cluster.len(), "assignment to unknown server {sid}");
+    assert!(
+        down[sid] == 0,
+        "assignment to downed server {sid} (task {})",
+        a.task
+    );
     assert!(
         spec_phase.demand.fits_in(free[sid]),
         "over-commitment on server {sid}: demand {} > free {} (task {})",
@@ -477,7 +727,8 @@ fn apply_assignment(
             base *= cfg.remote_penalty;
         }
     }
-    let speed = cluster.server(a.server).speed;
+    // Fail-slow degradation compounds with the server's nominal speed.
+    let speed = cluster.server(a.server).speed * speed_factor[sid];
     let dur = ((base / speed).ceil() as Time).max(1);
     let finish = now + dur;
 
@@ -1001,6 +1252,258 @@ mod tests {
         assert!(o.total_ns >= r.scheduling_ns);
         assert!(o.mean_ns <= o.p99_ns && o.p99_ns <= o.max_ns);
         assert!(o.max_ns <= o.total_ns);
+    }
+
+    mod faults {
+        use super::*;
+        use crate::fault::{FaultEvent, FaultTimeline, TimedFault};
+
+        fn crash(at: Time, s: u32) -> TimedFault {
+            TimedFault {
+                at,
+                event: FaultEvent::Crash(ServerId(s)),
+            }
+        }
+        fn restore(at: Time, s: u32) -> TimedFault {
+            TimedFault {
+                at,
+                event: FaultEvent::Restore(ServerId(s)),
+            }
+        }
+
+        #[test]
+        fn empty_timeline_matches_plain_simulate() {
+            let cluster = ClusterSpec::paper_30_node();
+            let jobs: Vec<JobSpec> = (0..6)
+                .map(|i| JobSpec::single_phase(JobId(i), 20, Resources::new(2.0, 4.0), 12.0, 4.0))
+                .collect();
+            let sampler = DurationSampler::new(7, StragglerModel::ParetoFit);
+            let cfg = EngineConfig::default();
+            let a = simulate(&cluster, jobs.clone(), &sampler, &mut FifoFirstFit, &cfg);
+            let b = simulate_with_faults(
+                &cluster,
+                jobs,
+                &sampler,
+                &mut FifoFirstFit,
+                &cfg,
+                &FaultTimeline::empty(),
+            );
+            assert_eq!(a.jobs, b.jobs);
+            assert_eq!(a.makespan, b.makespan);
+            assert_eq!(a.decision_points, b.decision_points);
+            assert_eq!(b.faults, crate::metrics::FaultStats::default());
+        }
+
+        #[test]
+        fn crash_evicts_and_requeues_lone_task() {
+            // Two 1×1 servers; FifoFirstFit starts the task on server 0.
+            // Server 0 crashes at slot 4: the only copy dies, the task is
+            // re-queued and restarts on server 1 the same slot.
+            let cluster = ClusterSpec::homogeneous(2, 1.0, 1.0);
+            let job = JobSpec::single_phase(JobId(0), 1, Resources::new(1.0, 1.0), 10.0, 0.0);
+            let tl = FaultTimeline::new(vec![crash(4, 0), restore(6, 0)]);
+            let cfg = EngineConfig {
+                record_timeline: true,
+                ..Default::default()
+            };
+            let r = simulate_with_faults(
+                &cluster,
+                vec![job],
+                &det_sampler(),
+                &mut FifoFirstFit,
+                &cfg,
+                &tl,
+            );
+            assert_eq!(r.jobs[0].flowtime, 14, "4 lost + full 10-slot rerun");
+            assert_eq!(r.faults.server_crashes, 1);
+            assert_eq!(r.faults.server_recoveries, 1);
+            assert_eq!(r.faults.copies_evicted, 1);
+            assert_eq!(r.faults.tasks_requeued, 1);
+            assert_eq!(r.faults.tasks_saved_by_clone, 0);
+            // Lost work: demand (1,1) on totals (2,2) ⇒ rate 1.0, 4 slots.
+            assert!((r.faults.work_lost_norm - 4.0).abs() < 1e-9);
+            // Re-execution is a fresh primary, not a clone.
+            assert_eq!(r.jobs[0].clone_copies, 0);
+            assert_eq!(r.jobs[0].tasks_cloned, 0);
+            let evicted: Vec<_> = r
+                .timeline
+                .iter()
+                .filter(|c| c.outcome == CopyOutcome::Evicted)
+                .collect();
+            assert_eq!(evicted.len(), 1);
+            assert_eq!(evicted[0].server, ServerId(0));
+            assert_eq!(evicted[0].end, 4);
+            let winner = r
+                .timeline
+                .iter()
+                .find(|c| c.outcome == CopyOutcome::Won)
+                .expect("rerun wins");
+            assert_eq!(winner.server, ServerId(1));
+            assert_eq!(winner.copy_idx, 1, "second launch of the task");
+        }
+
+        #[test]
+        fn live_clone_saves_task_from_crash() {
+            // AtomicCloner races a clone on server 1; server 0 crashes
+            // mid-flight, but the clone carries the task to completion on
+            // schedule — no re-execution.
+            let cluster = ClusterSpec::homogeneous(2, 1.0, 1.0);
+            let job = JobSpec::single_phase(JobId(0), 1, Resources::new(1.0, 1.0), 10.0, 0.0);
+            let tl = FaultTimeline::new(vec![crash(2, 0)]);
+            let r = simulate_with_faults(
+                &cluster,
+                vec![job],
+                &det_sampler(),
+                &mut AtomicCloner,
+                &EngineConfig::default(),
+                &tl,
+            );
+            assert_eq!(r.jobs[0].flowtime, 10, "clone finishes on time");
+            assert_eq!(r.faults.copies_evicted, 1);
+            assert_eq!(r.faults.tasks_saved_by_clone, 1);
+            assert_eq!(r.faults.tasks_requeued, 0);
+            assert_eq!(r.jobs[0].tasks_cloned, 1);
+        }
+
+        #[test]
+        fn degrade_stretches_inflight_and_future_copies() {
+            let cluster = ClusterSpec::homogeneous(1, 1.0, 1.0);
+            let j0 = JobSpec::single_phase(JobId(0), 1, Resources::new(1.0, 1.0), 10.0, 0.0);
+            let j1 = JobSpec::builder(JobId(1))
+                .arrival(20)
+                .phase(dollymp_core::job::PhaseSpec::new(
+                    1,
+                    Resources::new(1.0, 1.0),
+                    10.0,
+                    0.0,
+                ))
+                .build()
+                .unwrap();
+            let tl = FaultTimeline::new(vec![TimedFault {
+                at: 5,
+                event: FaultEvent::Degrade(ServerId(0), 0.5),
+            }]);
+            let r = simulate_with_faults(
+                &cluster,
+                vec![j0, j1],
+                &det_sampler(),
+                &mut FifoFirstFit,
+                &EngineConfig::default(),
+                &tl,
+            );
+            let by_id = r.by_id();
+            // 5 slots done, 5 remaining stretched 2× ⇒ finish at 15.
+            assert_eq!(by_id[&JobId(0)].finish, 15);
+            // Placed after the onset: full 2× stretch, 20 slots.
+            assert_eq!(by_id[&JobId(1)].flowtime, 20);
+            assert_eq!(r.faults.server_degradations, 1);
+            assert_eq!(r.faults.copies_evicted, 0);
+        }
+
+        #[test]
+        fn overlapping_crash_windows_need_both_restores() {
+            // Blackout [2, 5) overlaps an individual crash [3, 8): the
+            // server is up only at 8 (down-count reaches zero).
+            let cluster = ClusterSpec::homogeneous(1, 1.0, 1.0);
+            let job = JobSpec::single_phase(JobId(0), 1, Resources::new(1.0, 1.0), 3.0, 0.0);
+            let tl =
+                FaultTimeline::new(vec![crash(2, 0), crash(3, 0), restore(5, 0), restore(8, 0)]);
+            let r = simulate_with_faults(
+                &cluster,
+                vec![job],
+                &det_sampler(),
+                &mut FifoFirstFit,
+                &EngineConfig::default(),
+                &tl,
+            );
+            assert_eq!(r.jobs[0].finish, 11, "rerun starts at the second restore");
+            assert_eq!(
+                r.faults.server_crashes, 1,
+                "second crash found it already down"
+            );
+            assert_eq!(r.faults.server_recoveries, 1);
+            assert_eq!(r.faults.copies_evicted, 1);
+        }
+
+        #[test]
+        #[should_panic(expected = "not down")]
+        fn restore_of_up_server_panics() {
+            let cluster = ClusterSpec::homogeneous(1, 1.0, 1.0);
+            let job = JobSpec::single_phase(JobId(0), 1, Resources::new(1.0, 1.0), 3.0, 0.0);
+            let tl = FaultTimeline::new(vec![restore(1, 0)]);
+            let _ = simulate_with_faults(
+                &cluster,
+                vec![job],
+                &det_sampler(),
+                &mut FifoFirstFit,
+                &EngineConfig::default(),
+                &tl,
+            );
+        }
+
+        #[test]
+        #[should_panic(expected = "downed server")]
+        fn assignment_to_downed_server_panics() {
+            struct Blind;
+            impl Scheduler for Blind {
+                fn name(&self) -> String {
+                    "blind".into()
+                }
+                fn schedule(&mut self, view: &ClusterView<'_>) -> Vec<Assignment> {
+                    view.jobs()
+                        .flat_map(|j| j.ready_tasks())
+                        .map(|task| Assignment {
+                            task,
+                            server: ServerId(0),
+                            kind: CopyKind::Primary,
+                        })
+                        .collect()
+                }
+            }
+            let cluster = ClusterSpec::homogeneous(2, 1.0, 1.0);
+            let job = JobSpec::single_phase(JobId(0), 1, Resources::new(1.0, 1.0), 3.0, 0.0);
+            let tl = FaultTimeline::new(vec![crash(0, 0), restore(9, 0)]);
+            let _ = simulate_with_faults(
+                &cluster,
+                vec![job],
+                &det_sampler(),
+                &mut Blind,
+                &EngineConfig::default(),
+                &tl,
+            );
+        }
+
+        #[test]
+        fn same_seed_and_timeline_reproduce_identical_reports() {
+            let cluster = ClusterSpec::paper_30_node();
+            let jobs: Vec<JobSpec> = (0..8)
+                .map(|i| JobSpec::single_phase(JobId(i), 15, Resources::new(2.0, 4.0), 10.0, 3.0))
+                .collect();
+            let sampler = DurationSampler::new(11, StragglerModel::ParetoFit);
+            let tl = FaultTimeline::new(vec![
+                crash(5, 3),
+                restore(25, 3),
+                crash(12, 17),
+                restore(30, 17),
+                TimedFault {
+                    at: 8,
+                    event: FaultEvent::Degrade(ServerId(9), 0.6),
+                },
+            ]);
+            let cfg = EngineConfig::default();
+            let a = simulate_with_faults(
+                &cluster,
+                jobs.clone(),
+                &sampler,
+                &mut FifoFirstFit,
+                &cfg,
+                &tl,
+            );
+            let b = simulate_with_faults(&cluster, jobs, &sampler, &mut FifoFirstFit, &cfg, &tl);
+            assert_eq!(a.jobs, b.jobs);
+            assert_eq!(a.faults, b.faults);
+            assert_eq!(a.makespan, b.makespan);
+        }
     }
 
     #[test]

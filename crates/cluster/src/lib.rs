@@ -15,7 +15,10 @@
 //! * [`view`] — the read-only snapshot schedulers decide on;
 //! * [`scheduler`] — the [`scheduler::Scheduler`] trait every policy
 //!   implements, plus a FIFO/first-fit reference policy;
-//! * [`engine`] — the simulation loop ([`engine::simulate`]);
+//! * [`engine`] — the simulation loop ([`engine::simulate`] and its
+//!   fault-injected variant [`engine::simulate_with_faults`]);
+//! * [`fault`] — timed fault events (crash / restore / fail-slow) and
+//!   the sorted timeline the engine consumes;
 //! * [`metrics`] — per-job metrics, reports, CDF helpers.
 //!
 //! ## Quick start
@@ -38,6 +41,7 @@
 
 pub mod engine;
 pub mod execution;
+pub mod fault;
 pub mod metrics;
 pub mod scheduler;
 pub mod spec;
@@ -46,10 +50,11 @@ pub mod view;
 
 /// Commonly used simulator types.
 pub mod prelude {
-    pub use crate::engine::{simulate, EngineConfig};
+    pub use crate::engine::{simulate, simulate_with_faults, EngineConfig};
     pub use crate::execution::{DurationSampler, StragglerModel};
+    pub use crate::fault::{FaultEvent, FaultTimeline, TimedFault};
     pub use crate::metrics::{
-        cdf, cdf_at, jain_index, quantile, JobMetrics, SchedOverhead, SimReport,
+        cdf, cdf_at, jain_index, quantile, FaultStats, JobMetrics, SchedOverhead, SimReport,
     };
     pub use crate::scheduler::{clone_allowed, Assignment, FifoFirstFit, Scheduler};
     pub use crate::spec::{ClusterSpec, ServerId, ServerSpec};

@@ -15,6 +15,8 @@ pub enum CopyOutcome {
     Won,
     /// A sibling finished first; this copy was killed.
     Killed,
+    /// Its server crashed; the copy's work was lost.
+    Evicted,
 }
 
 /// One copy's lifetime on a server — the unit of the execution timeline.
@@ -54,6 +56,7 @@ pub fn timeline_to_chrome_trace(spans: &[CopySpan], slot_secs: f64) -> String {
         let outcome = match s.outcome {
             CopyOutcome::Won => "won",
             CopyOutcome::Killed => "killed",
+            CopyOutcome::Evicted => "evicted",
         };
         // name: j<job>p<phase>t<task>#<copy>; pid = server, tid = task hash.
         let _ = write!(
@@ -145,6 +148,31 @@ impl SchedOverhead {
     }
 }
 
+/// Fault-injection and recovery counters for one run (all zero when the
+/// fault timeline was empty — see `dollymp_cluster::fault`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Server-down transitions (a rack blackout counts once per server).
+    pub server_crashes: u64,
+    /// Server-up transitions.
+    pub server_recoveries: u64,
+    /// Fail-slow onsets applied.
+    pub server_degradations: u64,
+    /// Copies evicted by crashes (primaries and clones).
+    pub copies_evicted: u64,
+    /// Eviction victims that survived because another live copy of the
+    /// same task kept running — the clone-as-failure-insurance counter.
+    pub tasks_saved_by_clone: u64,
+    /// Tasks whose *last* live copy was evicted: fully lost, returned to
+    /// the ready queue and re-executed from scratch.
+    pub tasks_requeued: u64,
+    /// Normalized work destroyed by evictions: Σ over evicted copies of
+    /// `(cpu/ΣC + mem/ΣM) × slots held` — the same unit as
+    /// [`JobMetrics::usage`], so wasted work is directly comparable to
+    /// useful usage.
+    pub work_lost_norm: f64,
+}
+
 /// Everything a simulation run produces.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimReport {
@@ -164,6 +192,11 @@ pub struct SimReport {
     /// existed still deserialize.
     #[serde(default)]
     pub sched_overhead: SchedOverhead,
+    /// Fault/recovery counters — all zero for fault-free runs.
+    /// `#[serde(default)]` so reports written before fault injection
+    /// existed still deserialize.
+    #[serde(default)]
+    pub faults: FaultStats,
     /// Cluster utilization samples `(slot, cpu fraction, mem fraction)`
     /// taken after every decision point — empty unless
     /// `EngineConfig::record_utilization` was set.
@@ -390,6 +423,7 @@ mod tests {
             decision_points: 0,
             scheduling_ns: 0,
             sched_overhead: SchedOverhead::default(),
+            faults: FaultStats::default(),
             utilization: Vec::new(),
             timeline: Vec::new(),
         }

@@ -43,6 +43,25 @@ pub trait Scheduler {
     /// (so estimation layers can archive observed statistics).
     fn on_job_finish(&mut self, _job: &crate::state::JobState) {}
 
+    /// Called when a server crashes (fault injection), after its copies
+    /// were evicted but before the slot's scheduling pass. The view
+    /// already shows the server with zero free capacity.
+    fn on_server_down(&mut self, _view: &ClusterView<'_>, _server: ServerId) {}
+
+    /// Called when a crashed server is repaired and its capacity returns
+    /// to the pool, before the slot's scheduling pass. Policies keeping
+    /// incremental free-capacity summaries must account for capacity
+    /// *growing* here (see `FreeTracker::release` in
+    /// `dollymp-schedulers`).
+    fn on_server_up(&mut self, _view: &ClusterView<'_>, _server: ServerId) {}
+
+    /// Called when a task's *last* live copy was evicted by a crash: the
+    /// task is back in `Ready` state and will be re-executed from
+    /// scratch. Estimation or caching layers keyed on a job's remaining
+    /// work must invalidate here — evicted progress is lost work the
+    /// fingerprint cannot see.
+    fn on_task_lost(&mut self, _view: &ClusterView<'_>, _task: TaskRef) {}
+
     /// Produce the placement batch for this decision point.
     fn schedule(&mut self, view: &ClusterView<'_>) -> Vec<Assignment>;
 }

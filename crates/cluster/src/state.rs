@@ -312,12 +312,14 @@ impl JobState {
         out
     }
 
-    /// Number of tasks that ever held more than one copy.
+    /// Number of tasks that ever received a clone copy. (Counted by copy
+    /// kind, not launch count: a task re-executed after a crash eviction
+    /// launches a second *primary*, which is not cloning.)
     pub fn tasks_cloned(&self) -> u64 {
         self.tasks
             .iter()
             .flatten()
-            .filter(|t| t.launched_copies() > 1)
+            .filter(|t| t.copies.iter().any(|c| c.kind == CopyKind::Clone))
             .count() as u64
     }
 }

@@ -110,6 +110,78 @@ fn chaotic_workload(seed: u64, njobs: u64) -> Vec<JobSpec> {
         .collect()
 }
 
+/// Random but well-formed fault schedule: per-server sequences of
+/// non-overlapping crash→restore windows (every crash is eventually
+/// repaired, so runs always drain) plus occasional fail-slow onsets.
+fn chaotic_faults(seed: u64, nservers: u32, horizon: dollymp_core::time::Time) -> FaultTimeline {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xFA17);
+    let mut events = Vec::new();
+    for s in 0..nservers {
+        let mut t = rng.gen_range(1..horizon / 2);
+        for _ in 0..rng.gen_range(0..=2u32) {
+            let len: u64 = rng.gen_range(1..=8);
+            events.push(TimedFault {
+                at: t,
+                event: FaultEvent::Crash(ServerId(s)),
+            });
+            events.push(TimedFault {
+                at: t + len,
+                event: FaultEvent::Restore(ServerId(s)),
+            });
+            t += len + rng.gen_range(1..=12u64);
+        }
+        if rng.gen_bool(0.3) {
+            events.push(TimedFault {
+                at: rng.gen_range(0..horizon),
+                event: FaultEvent::Degrade(ServerId(s), rng.gen_range(0.25..=1.0)),
+            });
+        }
+    }
+    FaultTimeline::new(events)
+}
+
+/// Zero the wall-clock overhead fields so reports can be compared
+/// byte-for-byte (everything else is deterministic).
+fn scrub_walltime(mut r: SimReport) -> SimReport {
+    r.scheduling_ns = 0;
+    r.sched_overhead = Default::default();
+    r
+}
+
+/// Merged per-server down windows `[crash, restore)` implied by a
+/// timeline (a window stays open while the per-server down-count is
+/// positive).
+fn down_windows(faults: &FaultTimeline, nservers: u32) -> Vec<Vec<(u64, u64)>> {
+    let mut depth = vec![0u32; nservers as usize];
+    let mut open = vec![0u64; nservers as usize];
+    let mut windows = vec![Vec::new(); nservers as usize];
+    for f in faults.events() {
+        let s = match f.event {
+            FaultEvent::Crash(s) => {
+                let i = s.0 as usize;
+                depth[i] += 1;
+                if depth[i] == 1 {
+                    open[i] = f.at;
+                }
+                continue;
+            }
+            FaultEvent::Restore(s) => s,
+            FaultEvent::Degrade(..) => continue,
+        };
+        let i = s.0 as usize;
+        depth[i] -= 1;
+        if depth[i] == 0 {
+            windows[i].push((open[i], f.at));
+        }
+    }
+    for (i, &d) in depth.iter().enumerate() {
+        if d > 0 {
+            windows[i].push((open[i], u64::MAX));
+        }
+    }
+    windows
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -152,5 +224,87 @@ proptest! {
         let mut chaos = ChaosScheduler::new(seed);
         let r = simulate(&cluster, jobs.clone(), &sampler, &mut chaos, &cfg);
         prop_assert_eq!(r.jobs.len(), jobs.len());
+    }
+
+    /// Chaotic scheduling under chaotic faults: every job still
+    /// completes, the fault counters are mutually consistent, no copy
+    /// ever runs inside a server's down window, and the whole run is a
+    /// deterministic function of (seed, timeline).
+    #[test]
+    fn engine_upholds_invariants_under_faults(seed in 0u64..5_000) {
+        let cluster = ClusterSpec::new(vec![
+            ServerSpec::new(4.0, 8.0),
+            ServerSpec::new(2.0, 4.0).with_speed(0.5),
+            ServerSpec::new(8.0, 16.0).with_speed(1.5),
+        ]);
+        let jobs = chaotic_workload(seed, 10);
+        let faults = chaotic_faults(seed, 3, 80);
+        let sampler = DurationSampler::new(seed, StragglerModel::ParetoFit);
+        let cfg = EngineConfig { record_timeline: true, ..Default::default() };
+
+        let run = |s: u64| {
+            let mut chaos = ChaosScheduler::new(s ^ 0xC0FFEE);
+            scrub_walltime(simulate_with_faults(
+                &cluster, jobs.clone(), &sampler, &mut chaos, &cfg, &faults,
+            ))
+        };
+        let r = run(seed);
+
+        // Work conservation: faults delay jobs, they never lose them.
+        prop_assert_eq!(r.jobs.len(), jobs.len());
+        let total_tasks: u64 = jobs.iter().map(|j| j.total_tasks()).sum();
+        let reported_tasks: u64 = r.jobs.iter().map(|m| m.tasks).sum();
+        prop_assert_eq!(reported_tasks, total_tasks);
+
+        // Counter consistency.
+        let f = &r.faults;
+        prop_assert!(f.tasks_requeued <= f.copies_evicted, "a requeue needs an eviction");
+        prop_assert!(f.tasks_saved_by_clone + f.tasks_requeued <= f.copies_evicted);
+        prop_assert!(f.server_recoveries <= f.server_crashes);
+        prop_assert!(f.server_crashes <= faults.crash_count() as u64);
+        prop_assert!(f.work_lost_norm.is_finite() && f.work_lost_norm >= 0.0);
+        prop_assert!((f.copies_evicted == 0) == (f.work_lost_norm == 0.0));
+
+        // No copy overlaps a down window of its server: a span may end
+        // exactly at the crash slot (evicted or just-finished) and may
+        // start exactly at the restore slot, never in between.
+        let windows = down_windows(&faults, 3);
+        for span in &r.timeline {
+            for &(c, rst) in &windows[span.server.0 as usize] {
+                prop_assert!(
+                    span.end <= c || span.start >= rst,
+                    "copy {:?} [{}, {}) on server {} overlaps down window [{}, {})",
+                    span.task, span.start, span.end, span.server.0, c, rst
+                );
+            }
+        }
+
+        // Determinism: an identical rerun reproduces the report bit-wise.
+        let r2 = run(seed);
+        prop_assert_eq!(
+            serde_json::to_string(&r).unwrap(),
+            serde_json::to_string(&r2).unwrap()
+        );
+    }
+
+    /// A zero-fault run through `simulate_with_faults` is byte-identical
+    /// to the plain `simulate` path — fault support costs nothing when
+    /// unused.
+    #[test]
+    fn empty_fault_timeline_is_byte_identical(seed in 0u64..3_000) {
+        let cluster = ClusterSpec::homogeneous(3, 6.0, 12.0);
+        let jobs = chaotic_workload(seed, 8);
+        let sampler = DurationSampler::new(seed, StragglerModel::google_traces());
+        let cfg = EngineConfig { record_timeline: true, ..Default::default() };
+        let mut a = ChaosScheduler::new(seed);
+        let plain = scrub_walltime(simulate(&cluster, jobs.clone(), &sampler, &mut a, &cfg));
+        let mut b = ChaosScheduler::new(seed);
+        let faulty = scrub_walltime(simulate_with_faults(
+            &cluster, jobs.clone(), &sampler, &mut b, &cfg, &FaultTimeline::empty(),
+        ));
+        prop_assert_eq!(
+            serde_json::to_string(&plain).unwrap(),
+            serde_json::to_string(&faulty).unwrap()
+        );
     }
 }

@@ -15,10 +15,11 @@
 //! (b) its elapsed time exceeds `slowdown_threshold ×` the observed mean
 //! duration of its phase.
 
-use crate::common::{place_in_job_order, FreeTracker};
+use crate::common::{place_in_job_order, ready_tasks_of, FreeTracker};
 use dollymp_cluster::prelude::*;
-use dollymp_core::job::JobId;
+use dollymp_core::job::{JobId, TaskRef};
 use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
 
 /// Speculative-execution tunables (Hadoop-like defaults).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -49,6 +50,11 @@ impl Default for SpeculationConfig {
 pub struct CapacityScheduler {
     /// `None` disables speculation entirely.
     pub speculation: Option<SpeculationConfig>,
+    /// Tasks whose last copy a crash evicted, in loss order. YARN retries
+    /// failed attempts ahead of fresh containers, so these jump the FIFO
+    /// queue until re-placed (empty in fault-free runs — the scheduling
+    /// path is then exactly the pre-fault one).
+    recovering: Vec<TaskRef>,
 }
 
 impl CapacityScheduler {
@@ -56,12 +62,71 @@ impl CapacityScheduler {
     pub fn new() -> Self {
         CapacityScheduler {
             speculation: Some(SpeculationConfig::default()),
+            recovering: Vec::new(),
         }
     }
 
     /// Pure FIFO, no speculation.
     pub fn without_speculation() -> Self {
-        CapacityScheduler { speculation: None }
+        CapacityScheduler {
+            speculation: None,
+            recovering: Vec::new(),
+        }
+    }
+
+    /// Place crash-recovered tasks before anything else, then run the
+    /// normal FIFO pass over the remaining ready tasks.
+    fn place_with_recovery(
+        &mut self,
+        view: &ClusterView<'_>,
+        order: &[JobId],
+        free: &mut FreeTracker,
+    ) -> Vec<Assignment> {
+        let mut out = Vec::new();
+        let mut placed: HashSet<TaskRef> = HashSet::new();
+        self.recovering.retain(|&task| {
+            // Drop stale entries: job retired, or the task was already
+            // re-launched (e.g. speculation) and is no longer Ready.
+            let Some(job) = view.job(task.job) else {
+                return false;
+            };
+            if job.task(task.phase, task.task).status != dollymp_cluster::state::TaskStatus::Ready {
+                return false;
+            }
+            let demand = job.spec().phase(task.phase).demand;
+            if let Some(server) = free.first_fit(demand) {
+                free.commit(server, demand);
+                free.note_copy(task);
+                placed.insert(task);
+                out.push(Assignment {
+                    task,
+                    server,
+                    kind: CopyKind::Primary,
+                });
+                false
+            } else {
+                // No room yet; keep it at the head of the queue.
+                true
+            }
+        });
+        for &jid in order {
+            let Some(job) = view.job(jid) else { continue };
+            for rt in ready_tasks_of(job) {
+                if placed.contains(&rt.task) {
+                    continue;
+                }
+                if let Some(server) = free.first_fit(rt.demand) {
+                    free.commit(server, rt.demand);
+                    free.note_copy(rt.task);
+                    out.push(Assignment {
+                        task: rt.task,
+                        server,
+                        kind: CopyKind::Primary,
+                    });
+                }
+            }
+        }
+        out
     }
 
     fn speculate(
@@ -134,9 +199,23 @@ impl Scheduler for CapacityScheduler {
         let order: Vec<JobId> = order.into_iter().map(|(_, id)| id).collect();
 
         let mut free = FreeTracker::new(view);
-        let mut batch = place_in_job_order(view, &order, &mut free);
+        let mut batch = if self.recovering.is_empty() {
+            place_in_job_order(view, &order, &mut free)
+        } else {
+            self.place_with_recovery(view, &order, &mut free)
+        };
         batch.extend(self.speculate(view, &order, &mut free));
         batch
+    }
+
+    fn on_task_lost(&mut self, _view: &ClusterView<'_>, task: TaskRef) {
+        if !self.recovering.contains(&task) {
+            self.recovering.push(task);
+        }
+    }
+
+    fn on_job_finish(&mut self, job: &JobState) {
+        self.recovering.retain(|t| t.job != job.id());
     }
 }
 
@@ -212,6 +291,42 @@ mod tests {
         let mut s = CapacityScheduler::without_speculation();
         let r = simulate(&cluster, jobs, &sampler, &mut s, &EngineConfig::default());
         assert!(r.jobs.iter().all(|j| j.clone_copies == 0));
+    }
+
+    #[test]
+    fn recovered_task_jumps_the_fifo_queue() {
+        use dollymp_cluster::engine::simulate_with_faults;
+
+        // Two unit servers. Job 0 is a two-phase chain (θ=8 each); job 1
+        // is a single 20-slot task that starts on server 1. Server 1
+        // crashes at t=3, losing job 1's only copy. When server 0 frees
+        // at t=8, plain FIFO would hand it to job 0's newly-ready second
+        // phase (earlier arrival); the recovery hook instead retries the
+        // crashed attempt first, YARN-style.
+        let cluster = ClusterSpec::homogeneous(2, 1.0, 1.0);
+        let mk_phase = || dollymp_core::job::PhaseSpec::new(1, Resources::new(1.0, 1.0), 8.0, 0.0);
+        let chain = JobSpec::chain(JobId(0), vec![mk_phase(), mk_phase()]).unwrap();
+        let lone = JobSpec::single_phase(JobId(1), 1, Resources::new(1.0, 1.0), 20.0, 0.0);
+        let faults = FaultTimeline::new(vec![TimedFault {
+            at: 3,
+            event: FaultEvent::Crash(ServerId(1)),
+        }]);
+        let mut s = CapacityScheduler::without_speculation();
+        let r = simulate_with_faults(
+            &cluster,
+            vec![chain, lone],
+            &det(),
+            &mut s,
+            &EngineConfig::default(),
+            &faults,
+        );
+        assert_eq!(r.faults.tasks_requeued, 1);
+        let by_id = r.by_id();
+        // Job 1 restarts at t=8 on the freed server (3..8 nothing fits),
+        // finishing at 28; job 0's phase 2 then runs 28..36. Without the
+        // hook the finishes would be 16 and 36 the other way round.
+        assert_eq!(by_id[&JobId(1)].flowtime, 28, "lost task retried first");
+        assert_eq!(by_id[&JobId(0)].flowtime, 36);
     }
 
     #[test]

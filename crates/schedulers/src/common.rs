@@ -138,6 +138,23 @@ impl FreeTracker {
         }
     }
 
+    /// Return `amount` of capacity to `server` — the inverse of
+    /// [`FreeTracker::commit`], used when a long-lived tracker learns of
+    /// *growing* capacity (a crashed server restored by fault recovery;
+    /// see `Scheduler::on_server_up`).
+    ///
+    /// The cached max summary was historically shrink-only (a commit can
+    /// only lower it), so growth must raise it explicitly: a stale max
+    /// would make [`FreeTracker::could_fit`] reject demands the recovered
+    /// server can in fact hold, silently idling restored capacity.
+    pub fn release(&mut self, server: ServerId, amount: Resources) {
+        let f = &mut self.free[server.0 as usize];
+        *f += amount;
+        if let Some(m) = self.max_free.get() {
+            self.max_free.set(Some(m.max(*f)));
+        }
+    }
+
     /// Copies of `task` live in the view **plus** committed in this batch.
     pub fn effective_copies(&self, view: &ClusterView<'_>, task: TaskRef) -> u32 {
         let live = view
@@ -274,6 +291,48 @@ mod tests {
         // 4 single-server jobs on 2 servers: two waves of 3 slots.
         assert_eq!(r.makespan, 6);
         assert_eq!(r.total_flowtime(), 3 + 3 + 6 + 6);
+    }
+
+    #[test]
+    fn release_raises_the_cached_max() {
+        // Regression: the max-free fast-reject was shrink-only. After a
+        // recovered server grows its free capacity, a stale cached max
+        // must not make could_fit()/first_fit() skip it.
+        use std::collections::BTreeMap;
+        let spec = ClusterSpec::new(vec![
+            ServerSpec::new(4.0, 4.0),
+            ServerSpec::new(1.0, 1.0),
+            ServerSpec::new(8.0, 8.0), // currently down: free = 0
+        ]);
+        let free = vec![
+            Resources::new(4.0, 4.0),
+            Resources::new(1.0, 1.0),
+            Resources::new(0.0, 0.0),
+        ];
+        let jobs = BTreeMap::new();
+        let view = ClusterView::new(0, &spec, &free, &jobs);
+        let mut tracker = FreeTracker::new(&view);
+
+        // Fill the max holder; the lazy max recomputes to (1, 1).
+        tracker.commit(ServerId(0), Resources::new(4.0, 4.0));
+        assert!(!tracker.could_fit(Resources::new(2.0, 2.0)));
+        assert_eq!(tracker.first_fit(Resources::new(2.0, 2.0)), None);
+
+        // Server 2 recovers mid-batch: its full capacity returns.
+        tracker.release(ServerId(2), Resources::new(8.0, 8.0));
+        assert!(
+            tracker.could_fit(Resources::new(2.0, 2.0)),
+            "stale max must not reject the recovered server"
+        );
+        assert_eq!(
+            tracker.first_fit(Resources::new(2.0, 2.0)),
+            Some(ServerId(2))
+        );
+        assert_eq!(tracker.free(ServerId(2)), Resources::new(8.0, 8.0));
+
+        // And release composes with later commits.
+        tracker.commit(ServerId(2), Resources::new(8.0, 8.0));
+        assert!(!tracker.fits_anywhere(Resources::new(2.0, 2.0)));
     }
 
     #[test]

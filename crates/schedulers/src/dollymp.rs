@@ -51,6 +51,11 @@ pub struct DollyMP {
     /// remaining work is unchanged are not re-summarized).
     cache: SummaryCache,
     use_summary_cache: bool,
+    /// Fault-induced task losses per job. A loss re-queues a task without
+    /// changing the remaining-task counts, so the summary-cache
+    /// fingerprint alone cannot see it; the epoch keeps the cache honest
+    /// (see `SummaryInput::loss_epoch`).
+    loss_epochs: HashMap<JobId, u64>,
 }
 
 impl DollyMP {
@@ -76,6 +81,7 @@ impl DollyMP {
             table: PriorityTable::default(),
             cache: SummaryCache::new(),
             use_summary_cache: true,
+            loss_epochs: HashMap::new(),
         }
     }
 
@@ -110,6 +116,7 @@ impl DollyMP {
                 spec: j.spec(),
                 remaining_tasks: j.remaining_tasks(),
                 finished_phases: j.finished_phases(),
+                loss_epoch: self.loss_epochs.get(&j.id()).copied().unwrap_or(0),
             })
             .collect();
         let summaries: Vec<TransientJob> = if self.use_summary_cache {
@@ -474,6 +481,16 @@ impl Scheduler for DollyMP {
     fn on_job_finish(&mut self, job: &dollymp_cluster::state::JobState) {
         self.table.remove(job.id());
         self.cache.remove(job.id());
+        self.loss_epochs.remove(&job.id());
+    }
+
+    fn on_task_lost(&mut self, view: &ClusterView<'_>, task: TaskRef) {
+        // The re-queued task's job lost work the remaining-task
+        // fingerprint cannot see; bump its epoch and re-run Algorithm 1 so
+        // the frozen order reflects the post-crash state of the cluster
+        // (a crash is as much a scheduling shock as an arrival).
+        *self.loss_epochs.entry(task.job).or_insert(0) += 1;
+        self.refresh_priorities(view);
     }
 
     fn schedule(&mut self, view: &ClusterView<'_>) -> Vec<Assignment> {
@@ -660,6 +677,80 @@ mod tests {
             first_finisher.clone_copies, 0,
             "no clones while the equal-size backlog existed"
         );
+    }
+
+    #[test]
+    fn summary_cache_equivalent_under_faults() {
+        // Crashes re-queue tasks without changing remaining-task counts;
+        // the loss-epoch must keep cached and uncached DollyMP decision-
+        // identical through fault recovery.
+        use dollymp_cluster::engine::simulate_with_faults;
+        use dollymp_cluster::fault::{FaultEvent, FaultTimeline, TimedFault};
+        let cluster = ClusterSpec::paper_30_node();
+        let jobs: Vec<JobSpec> = (0..12)
+            .map(|i| JobSpec::single_phase(JobId(i), 10, Resources::new(2.0, 4.0), 15.0, 5.0))
+            .collect();
+        let sampler = DurationSampler::new(23, StragglerModel::ParetoFit);
+        let tl = FaultTimeline::new(vec![
+            TimedFault {
+                at: 6,
+                event: FaultEvent::Crash(ServerId(2)),
+            },
+            TimedFault {
+                at: 40,
+                event: FaultEvent::Restore(ServerId(2)),
+            },
+            TimedFault {
+                at: 10,
+                event: FaultEvent::Crash(ServerId(20)),
+            },
+            TimedFault {
+                at: 55,
+                event: FaultEvent::Restore(ServerId(20)),
+            },
+        ]);
+        let cfg = EngineConfig::default();
+        let mut cached = DollyMP::new();
+        let r1 = simulate_with_faults(&cluster, jobs.clone(), &sampler, &mut cached, &cfg, &tl);
+        let mut uncached = DollyMP::new().without_summary_cache();
+        let r2 = simulate_with_faults(&cluster, jobs, &sampler, &mut uncached, &cfg, &tl);
+        assert!(r1.faults.copies_evicted > 0, "the crashes must bite");
+        assert_eq!(r1.jobs, r2.jobs);
+        assert_eq!(r1.faults, r2.faults);
+        assert_eq!(r1.makespan, r2.makespan);
+    }
+
+    #[test]
+    fn recovers_requeued_tasks_after_crash() {
+        use dollymp_cluster::engine::simulate_with_faults;
+        use dollymp_cluster::fault::{FaultEvent, FaultTimeline, TimedFault};
+        // Single server: every copy dies with it, so each loss is a full
+        // re-queue DollyMP must re-place after the restore.
+        let cluster = ClusterSpec::homogeneous(1, 4.0, 4.0);
+        let job = JobSpec::single_phase(JobId(0), 4, Resources::new(1.0, 1.0), 10.0, 0.0);
+        let tl = FaultTimeline::new(vec![
+            TimedFault {
+                at: 5,
+                event: FaultEvent::Crash(ServerId(0)),
+            },
+            TimedFault {
+                at: 9,
+                event: FaultEvent::Restore(ServerId(0)),
+            },
+        ]);
+        let mut s = DollyMP::with_clones(0);
+        let r = simulate_with_faults(
+            &cluster,
+            vec![job],
+            &det_sampler(),
+            &mut s,
+            &EngineConfig::default(),
+            &tl,
+        );
+        assert_eq!(r.jobs.len(), 1, "the job still completes");
+        assert_eq!(r.faults.tasks_requeued, 4);
+        // 5 slots lost + 4 idle + full 10-slot rerun.
+        assert_eq!(r.jobs[0].finish, 19);
     }
 
     #[test]

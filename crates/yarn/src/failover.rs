@@ -1,0 +1,207 @@
+//! RM-side failure detection: the node-liveness monitor.
+//!
+//! YARN's Resource Manager has no direct visibility into a node's death —
+//! a crashed Node Manager simply goes silent. The RM declares a node
+//! *lost* when no heartbeat has arrived for
+//! `yarn.nm.liveness-monitor.expiry-interval-ms`; containers on a lost
+//! node are marked failed and the affected Application Masters re-request
+//! them. [`HeartbeatMonitor`] reproduces that mechanism in slot time: it
+//! records the last heartbeat per node and, when polled, reports nodes
+//! whose silence exceeds the expiry interval exactly once, until a fresh
+//! heartbeat marks them alive again.
+//!
+//! The asymmetry this creates is the interesting part for the paper's
+//! cloning story: between the crash and the expiry the RM still believes
+//! the node is running its containers, so cloned copies elsewhere are the
+//! only thing making progress during the detection window.
+
+use crate::nm::NodeHeartbeat;
+use dollymp_cluster::spec::ServerId;
+use dollymp_core::time::Time;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Liveness of one tracked node, as the RM believes it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeLiveness {
+    /// Heartbeats arriving within the expiry interval.
+    Alive,
+    /// Silent past the expiry interval; declared lost.
+    Lost,
+}
+
+/// Tracks per-node heartbeat recency and flags expiries.
+///
+/// Deterministic: state is a `BTreeMap`, so [`HeartbeatMonitor::expire`]
+/// reports newly lost nodes in ascending server order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeartbeatMonitor {
+    /// Declare a node lost after this many slots of silence (strictly
+    /// more than `expiry` slots since the last heartbeat).
+    expiry: Time,
+    last_seen: BTreeMap<ServerId, Time>,
+    state: BTreeMap<ServerId, NodeLiveness>,
+}
+
+impl HeartbeatMonitor {
+    /// A monitor declaring nodes lost after `expiry` slots of silence.
+    pub fn new(expiry: Time) -> Self {
+        assert!(expiry > 0, "expiry interval must be positive");
+        HeartbeatMonitor {
+            expiry,
+            last_seen: BTreeMap::new(),
+            state: BTreeMap::new(),
+        }
+    }
+
+    /// Start tracking `server` as alive with a synthetic heartbeat at
+    /// `now` (node registration: the RM grants it the full interval
+    /// before suspecting anything).
+    pub fn register(&mut self, server: ServerId, now: Time) {
+        self.last_seen.insert(server, now);
+        self.state.insert(server, NodeLiveness::Alive);
+    }
+
+    /// Record a heartbeat. A heartbeat from a node previously declared
+    /// lost re-registers it as alive (the NM restarted). Returns `true`
+    /// if this heartbeat revived a lost node.
+    pub fn note_heartbeat(&mut self, hb: &NodeHeartbeat) -> bool {
+        self.last_seen.insert(hb.server, hb.at);
+        let prev = self.state.insert(hb.server, NodeLiveness::Alive);
+        prev == Some(NodeLiveness::Lost)
+    }
+
+    /// Poll the monitor: declare every tracked node silent for strictly
+    /// more than the expiry interval lost, and return the nodes *newly*
+    /// declared lost by this poll (ascending server order). Nodes already
+    /// lost are not reported again until a heartbeat revives them.
+    pub fn expire(&mut self, now: Time) -> Vec<ServerId> {
+        let mut newly_lost = Vec::new();
+        for (&server, liveness) in self.state.iter_mut() {
+            if *liveness == NodeLiveness::Lost {
+                continue;
+            }
+            let last = self.last_seen[&server];
+            if now.saturating_sub(last) > self.expiry {
+                *liveness = NodeLiveness::Lost;
+                newly_lost.push(server);
+            }
+        }
+        newly_lost
+    }
+
+    /// The RM's current belief about `server` (`None` if untracked).
+    pub fn liveness(&self, server: ServerId) -> Option<NodeLiveness> {
+        self.state.get(&server).copied()
+    }
+
+    /// Nodes currently believed alive, ascending.
+    pub fn alive_nodes(&self) -> Vec<ServerId> {
+        self.state
+            .iter()
+            .filter(|(_, &l)| l == NodeLiveness::Alive)
+            .map(|(&s, _)| s)
+            .collect()
+    }
+
+    /// The configured expiry interval in slots.
+    pub fn expiry(&self) -> Time {
+        self.expiry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nm::NodeManager;
+    use dollymp_core::job::{JobId, PhaseId, TaskId, TaskRef};
+    use dollymp_core::resources::Resources;
+
+    fn hb(server: u32, at: Time) -> NodeHeartbeat {
+        NodeHeartbeat {
+            server: ServerId(server),
+            at,
+            available: Resources::new(1.0, 1.0),
+            running: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn silence_past_expiry_is_reported_once() {
+        let mut m = HeartbeatMonitor::new(3);
+        m.register(ServerId(0), 0);
+        m.register(ServerId(1), 0);
+        m.note_heartbeat(&hb(0, 5));
+        m.note_heartbeat(&hb(1, 5));
+        // Node 1 goes silent after t=5; node 0 keeps beating.
+        m.note_heartbeat(&hb(0, 8));
+        assert_eq!(m.expire(8), Vec::<ServerId>::new(), "5+3 not exceeded yet");
+        m.note_heartbeat(&hb(0, 9));
+        assert_eq!(m.expire(9), vec![ServerId(1)], "silent for 4 > 3 slots");
+        assert_eq!(m.liveness(ServerId(1)), Some(NodeLiveness::Lost));
+        // Not reported twice.
+        assert_eq!(m.expire(12), Vec::<ServerId>::new());
+        assert_eq!(m.alive_nodes(), vec![ServerId(0)]);
+    }
+
+    #[test]
+    fn heartbeat_revives_a_lost_node() {
+        let mut m = HeartbeatMonitor::new(2);
+        m.register(ServerId(7), 0);
+        assert_eq!(m.expire(3), vec![ServerId(7)]);
+        assert!(m.note_heartbeat(&hb(7, 10)), "revival flagged");
+        assert_eq!(m.liveness(ServerId(7)), Some(NodeLiveness::Alive));
+        // And it can be lost again later.
+        assert_eq!(m.expire(13), vec![ServerId(7)]);
+    }
+
+    #[test]
+    fn crashed_nm_is_detected_by_timeout_and_recovers_on_restart() {
+        // End-to-end against the NM: the monitor only ever sees
+        // heartbeats, never the crash itself.
+        let t = TaskRef {
+            job: JobId(0),
+            phase: PhaseId(0),
+            task: TaskId(0),
+        };
+        let mut nm = NodeManager::new(ServerId(2), Resources::new(2.0, 2.0));
+        let mut m = HeartbeatMonitor::new(2);
+        m.register(nm.server(), 0);
+        nm.launch(t, 0, Resources::new(1.0, 1.0), 0).unwrap();
+
+        let mut lost_tasks = Vec::new();
+        let mut detected_at = None;
+        for now in 1..=10 {
+            if now == 4 {
+                lost_tasks = nm.crash(now);
+            }
+            if now == 9 {
+                nm.restart(now);
+            }
+            if let Some(hb) = nm.heartbeat(now) {
+                m.note_heartbeat(&hb);
+            }
+            if let Some(&s) = m.expire(now).first() {
+                assert_eq!(s, nm.server());
+                detected_at = Some(now);
+            }
+        }
+        assert_eq!(lost_tasks, vec![t]);
+        // Last heartbeat at t=3; 3-slot silence first exceeds expiry=2 at
+        // t=6 — the detection window during which only clones elsewhere
+        // make progress.
+        assert_eq!(detected_at, Some(6));
+        // The restarted NM's heartbeat at t=9 revived it.
+        assert_eq!(m.liveness(nm.server()), Some(NodeLiveness::Alive));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut m = HeartbeatMonitor::new(4);
+        m.register(ServerId(0), 1);
+        m.expire(9);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: HeartbeatMonitor = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

@@ -12,7 +12,10 @@
 //!
 //! * [`protocol`] — the AM ↔ RM message types;
 //! * [`nm`] — the node-side container manager (launch / complete / kill
-//!   / heartbeat), the surface §5.2's kill-on-first-finish talks to;
+//!   / heartbeat / crash), the surface §5.2's kill-on-first-finish talks
+//!   to;
+//! * [`failover`] — the RM-side node-liveness monitor (heartbeat-timeout
+//!   detection of crashed NMs);
 //! * [`shuffle`] — the Dolly-style delay assignment of upstream outputs
 //!   to downstream clones;
 //! * [`history`] — the recurring-job statistics registry;
@@ -30,6 +33,7 @@
 #![warn(clippy::all)]
 
 pub mod am;
+pub mod failover;
 pub mod history;
 pub mod nm;
 pub mod protocol;
@@ -38,6 +42,7 @@ pub mod shuffle;
 pub mod system;
 
 pub use am::{AmConfig, ApplicationMaster};
+pub use failover::{HeartbeatMonitor, NodeLiveness};
 pub use history::HistoryRegistry;
 pub use nm::{NodeHeartbeat, NodeManager};
 pub use rm::ResourceManager;

@@ -29,6 +29,8 @@ pub enum ContainerState {
     Completed,
     /// Killed because a sibling copy finished first.
     Killed,
+    /// Lost because the node crashed underneath it.
+    Evicted,
 }
 
 /// One task/clone container on a node.
@@ -59,6 +61,8 @@ pub enum NmError {
     UnknownContainer(ContainerId),
     /// Terminal-state transition on an already-terminal container.
     NotRunning(ContainerId),
+    /// The node is crashed; it cannot host containers until restarted.
+    NodeDown,
 }
 
 impl fmt::Display for NmError {
@@ -67,6 +71,7 @@ impl fmt::Display for NmError {
             NmError::OverCapacity => write!(f, "launch exceeds node capacity"),
             NmError::UnknownContainer(c) => write!(f, "unknown container {}", c.0),
             NmError::NotRunning(c) => write!(f, "container {} is not running", c.0),
+            NmError::NodeDown => write!(f, "node is down"),
         }
     }
 }
@@ -94,6 +99,9 @@ pub struct NodeManager {
     used: Resources,
     next_id: u64,
     containers: Vec<Container>,
+    /// Crashed: refuses launches and sends no heartbeats until restarted.
+    #[serde(default)]
+    down: bool,
 }
 
 impl NodeManager {
@@ -105,6 +113,7 @@ impl NodeManager {
             used: Resources::ZERO,
             next_id: 0,
             containers: Vec::new(),
+            down: false,
         }
     }
 
@@ -116,6 +125,9 @@ impl NodeManager {
         demand: Resources,
         now: Time,
     ) -> Result<ContainerId, NmError> {
+        if self.down {
+            return Err(NmError::NodeDown);
+        }
         if !demand.fits_in(self.capacity.saturating_sub(self.used)) {
             return Err(NmError::OverCapacity);
         }
@@ -176,6 +188,36 @@ impl NodeManager {
         ids.len()
     }
 
+    /// The node crashes: every running container is marked
+    /// [`ContainerState::Evicted`], its resources are freed, and the NM
+    /// stops accepting launches and emitting heartbeats. Returns the
+    /// tasks whose copies were lost here, in container-launch order, so
+    /// the RM can trigger re-execution.
+    pub fn crash(&mut self, now: Time) -> Vec<TaskRef> {
+        self.down = true;
+        let mut lost = Vec::new();
+        for c in &mut self.containers {
+            if c.state == ContainerState::Running {
+                c.state = ContainerState::Evicted;
+                c.ended = Some(now);
+                self.used -= c.demand;
+                lost.push(c.task);
+            }
+        }
+        lost
+    }
+
+    /// The node comes back, empty, and resumes heartbeating. Container
+    /// history (including the evicted ones) is preserved for audit.
+    pub fn restart(&mut self, _now: Time) {
+        self.down = false;
+    }
+
+    /// Whether this node is currently crashed.
+    pub fn is_down(&self) -> bool {
+        self.down
+    }
+
     /// Resources currently free on this node.
     pub fn available(&self) -> Resources {
         self.capacity.saturating_sub(self.used)
@@ -196,9 +238,14 @@ impl NodeManager {
         &self.containers
     }
 
-    /// Produce a heartbeat snapshot.
-    pub fn heartbeat(&self, now: Time) -> NodeHeartbeat {
-        NodeHeartbeat {
+    /// Produce a heartbeat snapshot — `None` while the node is down (a
+    /// crashed NM is silent; the RM detects it only by timeout, which is
+    /// what [`crate::failover::HeartbeatMonitor`] models).
+    pub fn heartbeat(&self, now: Time) -> Option<NodeHeartbeat> {
+        if self.down {
+            return None;
+        }
+        Some(NodeHeartbeat {
             server: self.server,
             at: now,
             available: self.available(),
@@ -208,7 +255,7 @@ impl NodeManager {
                 .filter(|c| c.state == ContainerState::Running)
                 .map(|c| c.task)
                 .collect(),
-        }
+        })
     }
 }
 
@@ -295,11 +342,42 @@ mod tests {
             .launch(task(0, 1), 0, Resources::new(1.0, 2.0), 3)
             .unwrap();
         n.complete(a, 9).unwrap();
-        let hb = n.heartbeat(10);
+        let hb = n.heartbeat(10).expect("node is up");
         assert_eq!(hb.server, ServerId(3));
         assert_eq!(hb.at, 10);
         assert_eq!(hb.running, vec![task(0, 1)]);
         assert_eq!(hb.available, Resources::new(3.0, 6.0));
+    }
+
+    #[test]
+    fn crash_evicts_running_containers_and_silences_heartbeats() {
+        let mut n = nm();
+        let d = Resources::new(1.0, 1.0);
+        let done = n.launch(task(0, 0), 0, d, 0).unwrap();
+        n.complete(done, 4).unwrap();
+        let _live = n.launch(task(0, 1), 0, d, 2).unwrap();
+        let _clone = n.launch(task(1, 0), 1, d, 3).unwrap();
+
+        let lost = n.crash(6);
+        assert_eq!(lost, vec![task(0, 1), task(1, 0)]);
+        assert!(n.is_down());
+        assert_eq!(n.used(), Resources::ZERO, "evicted containers freed");
+        assert_eq!(n.heartbeat(6), None, "crashed node is silent");
+        assert_eq!(n.launch(task(2, 0), 0, d, 7), Err(NmError::NodeDown));
+        // Completed history survives; running ones are terminal Evicted.
+        assert_eq!(n.containers()[0].state, ContainerState::Completed);
+        assert_eq!(n.containers()[1].state, ContainerState::Evicted);
+        assert_eq!(n.containers()[1].ended, Some(6));
+        // Evicted is terminal: completing it is an error.
+        assert_eq!(
+            n.complete(n.containers()[1].id, 7),
+            Err(NmError::NotRunning(n.containers()[1].id))
+        );
+
+        n.restart(9);
+        assert!(!n.is_down());
+        assert_eq!(n.heartbeat(9).unwrap().available, n.available());
+        assert!(n.launch(task(2, 0), 0, d, 9).is_ok());
     }
 
     #[test]

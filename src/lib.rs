@@ -8,6 +8,7 @@
 //! |---|---|---|
 //! | Scheduling mathematics (Algorithm 1/2, speedup models, theory) | `dollymp-core` | [`core`] |
 //! | Cluster simulator (slotted engine, stragglers, clones) | `dollymp-cluster` | [`cluster`] |
+//! | Fault-schedule generators (crashes, blackouts, fail-slow) | `dollymp-faults` | [`faults`] |
 //! | Workload generators (WordCount/PageRank, Google-like traces) | `dollymp-workload` | [`workload`] |
 //! | Schedulers (DollyMP^r, Tetris, DRF, Capacity, Carbyne, SRPT, SVF) | `dollymp-schedulers` | [`schedulers`] |
 //! | YARN-like control plane (RM/AM, estimation, locality) | `dollymp-yarn` | [`yarn`] |
@@ -45,6 +46,7 @@
 
 pub use dollymp_cluster as cluster;
 pub use dollymp_core as core;
+pub use dollymp_faults as faults;
 pub use dollymp_schedulers as schedulers;
 pub use dollymp_workload as workload;
 pub use dollymp_yarn as yarn;
@@ -53,6 +55,7 @@ pub use dollymp_yarn as yarn;
 pub mod prelude {
     pub use dollymp_cluster::prelude::*;
     pub use dollymp_core::prelude::*;
+    pub use dollymp_faults::FaultConfig;
     pub use dollymp_schedulers::{
         by_name, CapacityScheduler, Carbyne, DollyMP, Drf, PriorityScheduler, Tetris,
     };

@@ -18,7 +18,7 @@
 //!    loses strictly fewer tasks (`tasks_requeued`) than `dollymp0`,
 //!    because an evicted primary often has a live clone elsewhere.
 
-use dollymp_bench::{run_named, scale};
+use dollymp_bench::{config_fingerprint, run_named, scale};
 use dollymp_cluster::engine::simulate_with_faults;
 use dollymp_cluster::prelude::*;
 use dollymp_core::job::JobSpec;
@@ -46,11 +46,25 @@ struct SweepPoint {
     makespan: u64,
 }
 
+/// The knobs that define this sweep — serialized into the
+/// [`config_fingerprint`] so result files from different parameterizations
+/// can't be confused for one another.
+#[derive(Serialize)]
+struct BenchParams {
+    cluster: &'static str,
+    workload: &'static str,
+    jobs: usize,
+    rates: Vec<f64>,
+    mean_repair_slots: f64,
+    schedulers: Vec<&'static str>,
+}
+
 #[derive(Serialize)]
 struct Report {
     cluster: String,
     jobs: usize,
     seed: u64,
+    config_fingerprint: String,
     horizon: u64,
     mean_repair_slots: f64,
     zero_rate_matches_baseline: bool,
@@ -190,6 +204,17 @@ fn main() {
         cluster: "paper_30_node".to_string(),
         jobs: jobs.len(),
         seed: SEED,
+        config_fingerprint: config_fingerprint(
+            SEED,
+            &BenchParams {
+                cluster: "paper_30_node",
+                workload: "light_load",
+                jobs: jobs.len(),
+                rates: RATES.to_vec(),
+                mean_repair_slots: MEAN_REPAIR,
+                schedulers: SCHEDULERS.to_vec(),
+            },
+        ),
         horizon,
         mean_repair_slots: MEAN_REPAIR,
         zero_rate_matches_baseline,

@@ -46,6 +46,22 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) -> PathBuf {
     path
 }
 
+/// A deterministic fingerprint of a benchmark's configuration: FNV-1a
+/// over the seed followed by the config serialized as JSON. Stamped into
+/// `BENCH_*.json` artifacts so two result files can be compared at a
+/// glance — equal fingerprints mean the runs used identical parameters.
+pub fn config_fingerprint<T: serde::Serialize>(seed: u64, cfg: &T) -> String {
+    let json = serde_json::to_string(cfg).expect("config serializes");
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    for &b in seed.to_le_bytes().iter().chain(json.as_bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    format!("{h:016x}")
+}
+
 /// Run a named scheduler on a workload and return its report.
 pub fn run_named(
     name: &str,
@@ -192,6 +208,18 @@ mod tests {
         );
         // Arrivals sorted, ids preserved.
         assert!(jobs.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic_and_sensitive() {
+        let cfg = ("paper_30_node", vec![0.0, 1e-3]);
+        let a = config_fingerprint(7, &cfg);
+        let b = config_fingerprint(7, &cfg);
+        assert_eq!(a, b, "same seed + config ⇒ same fingerprint");
+        assert_eq!(a.len(), 16);
+        assert_ne!(a, config_fingerprint(8, &cfg), "seed changes it");
+        let other = ("paper_30_node", vec![0.0]);
+        assert_ne!(a, config_fingerprint(7, &other), "config changes it");
     }
 
     #[test]

@@ -13,9 +13,15 @@
 //! 4. invokes [`Scheduler::schedule`] once and applies the returned batch.
 //!
 //! Assignment validation is strict: an over-committing or ill-typed
-//! assignment panics, because a buggy scheduler must fail loudly rather
-//! than silently skew an experiment.
+//! assignment aborts the run, because a buggy scheduler must fail loudly
+//! rather than silently skew an experiment. Two fail-loud flavours exist:
+//! [`simulate`] / [`simulate_with_faults`] panic (the historical research
+//! contract), while [`try_simulate`] / [`try_simulate_with_faults`]
+//! return a typed [`SimError`] so a sweep harness can contain one bad
+//! run without dying. To *tolerate* a misbehaving policy instead of
+//! aborting on it, wrap it in [`crate::guard::GuardedScheduler`].
 
+use crate::error::{AdmissionError, ProgressSnapshot, RejectReason, SimError};
 use crate::execution::DurationSampler;
 use crate::fault::{FaultEvent, FaultTimeline};
 use crate::metrics::{CopyOutcome, CopySpan, FaultStats, JobMetrics, SchedOverhead, SimReport};
@@ -118,6 +124,26 @@ pub fn simulate(
     )
 }
 
+/// Non-panicking [`simulate`]: every abort path comes back as a typed
+/// [`SimError`] instead of a panic, so one bad policy or workload cannot
+/// kill a whole sweep. The happy path is byte-identical to [`simulate`].
+pub fn try_simulate(
+    cluster: &ClusterSpec,
+    jobs: Vec<JobSpec>,
+    sampler: &DurationSampler,
+    scheduler: &mut dyn Scheduler,
+    cfg: &EngineConfig,
+) -> Result<SimReport, SimError> {
+    try_simulate_with_faults(
+        cluster,
+        jobs,
+        sampler,
+        scheduler,
+        cfg,
+        &FaultTimeline::empty(),
+    )
+}
+
 /// Deferred scheduler callback for a fault applied this slot: mutations
 /// happen first, then every hook runs against one consistent view.
 enum FaultHook {
@@ -144,17 +170,51 @@ pub fn simulate_with_faults(
     cfg: &EngineConfig,
     faults: &FaultTimeline,
 ) -> SimReport {
+    match try_simulate_with_faults(cluster, jobs, sampler, scheduler, cfg, faults) {
+        Ok(report) => report,
+        // Fail-loud contract: the panic message is the typed error's
+        // Display form (it preserves the historical phrasing).
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Snapshot of the engine's progress state for stall/overrun errors.
+fn progress_snapshot(active: &BTreeMap<JobId, JobState>, last_progress: Time) -> ProgressSnapshot {
+    ProgressSnapshot {
+        active_jobs: active
+            .keys()
+            .copied()
+            .take(ProgressSnapshot::MAX_LISTED)
+            .collect(),
+        total_active: active.len(),
+        pending_tasks: active.values().map(|j| j.ready_tasks().len()).sum(),
+        last_progress,
+    }
+}
+
+/// Non-panicking [`simulate_with_faults`]: returns `Err` where the
+/// panicking entry points abort, byte-identical reports otherwise.
+pub fn try_simulate_with_faults(
+    cluster: &ClusterSpec,
+    jobs: Vec<JobSpec>,
+    sampler: &DurationSampler,
+    scheduler: &mut dyn Scheduler,
+    cfg: &EngineConfig,
+    faults: &FaultTimeline,
+) -> Result<SimReport, SimError> {
     for j in &jobs {
         for (pi, p) in j.phases().iter().enumerate() {
-            assert!(
-                cluster
-                    .servers()
-                    .iter()
-                    .any(|s| p.demand.fits_in(s.capacity)),
-                "job {} phase {pi} demand {} fits no server",
-                j.id.0,
-                p.demand
-            );
+            if !cluster
+                .servers()
+                .iter()
+                .any(|s| p.demand.fits_in(s.capacity))
+            {
+                return Err(SimError::Unsatisfiable {
+                    job: j.id,
+                    phase: pi as u32,
+                    demand: p.demand,
+                });
+            }
         }
     }
 
@@ -176,6 +236,9 @@ pub fn simulate_with_faults(
     let mut utilization: Vec<(Time, f64, f64)> = Vec::new();
     let mut timeline: Vec<CopySpan> = Vec::new();
     let mut now: Time = 0;
+    // Last slot at which anything observable happened (admission, launch
+    // or retirement) — surfaced in stall/overrun errors for debugging.
+    let mut last_progress: Time = 0;
     // Fault machinery. `down` is a *count* so overlapping crash windows
     // (rack blackout + individual crash) compose; a server is up iff 0.
     let mut down: Vec<u32> = vec![0; cluster.len()];
@@ -206,18 +269,23 @@ pub fn simulate_with_faults(
             .min()
         {
             Some(t) => t,
-            None => panic!(
-                "scheduler stalled at slot {now}: {} active job(s), nothing running, \
-                 nothing arriving",
-                active.len()
-            ),
+            None => {
+                return Err(SimError::Stalled {
+                    scheduler: scheduler.name(),
+                    at: now,
+                    progress: progress_snapshot(&active, last_progress),
+                })
+            }
         };
         now = now.max(t);
-        assert!(
-            now <= cfg.max_slots,
-            "simulation exceeded {} slots — livelocked scheduler?",
-            cfg.max_slots
-        );
+        if now > cfg.max_slots {
+            return Err(SimError::ClockOverrun {
+                scheduler: scheduler.name(),
+                max_slots: cfg.max_slots,
+                at: now,
+                progress: progress_snapshot(&active, last_progress),
+            });
+        }
 
         // 1) Retire copies finishing now (and any stale events en route).
         let mut finished_jobs: Vec<JobId> = Vec::new();
@@ -225,6 +293,7 @@ pub fn simulate_with_faults(
             if ev.finish > now {
                 break;
             }
+            #[allow(clippy::expect_used)] // loop condition peeked it
             let ev = events.pop().expect("peeked").0;
             if !copy_is_live(&active, &ev) {
                 continue;
@@ -238,8 +307,10 @@ pub fn simulate_with_faults(
                 &mut finished_jobs,
                 cfg.record_timeline.then_some(&mut timeline),
             );
+            last_progress = now;
         }
         for id in finished_jobs {
+            #[allow(clippy::expect_used)] // retire_copy listed it from `active`
             let job = active.remove(&id).expect("finished job present");
             done.push(job_metrics(&job, now));
             scheduler.on_job_finish(&job);
@@ -266,7 +337,7 @@ pub fn simulate_with_faults(
                 &mut fstats,
                 cfg.record_timeline.then_some(&mut timeline),
                 &mut hooks,
-            );
+            )?;
         }
         if !hooks.is_empty() {
             let view = ClusterView {
@@ -287,13 +358,13 @@ pub fn simulate_with_faults(
         // 2) Admit arrivals.
         let mut arrival_ns = 0u64;
         while arrivals.last().is_some_and(|j| j.arrival <= now) {
+            #[allow(clippy::expect_used)] // loop condition peeked it
             let spec = arrivals.pop().expect("peeked");
             let id = spec.id;
-            assert!(
-                !active.contains_key(&id),
-                "duplicate job id {} in workload",
-                id.0
-            );
+            if active.contains_key(&id) {
+                return Err(SimError::DuplicateJob { job: id });
+            }
+            last_progress = now;
             let tables: Vec<Vec<f64>> = spec
                 .phases()
                 .iter()
@@ -331,14 +402,15 @@ pub fn simulate_with_faults(
             // fully-crashed cluster legitimately idles until a Restore.
             let stalled_risk =
                 events.is_empty() && arrivals.is_empty() && fault_idx >= faults.len();
-            assert!(
-                !(stalled_risk && batch.is_empty()),
-                "scheduler {} stalled at slot {now}: returned no assignments with \
-                 {} active job(s) and an otherwise idle cluster",
-                scheduler.name(),
-                active.len()
-            );
+            if stalled_risk && batch.is_empty() {
+                return Err(SimError::Stalled {
+                    scheduler: scheduler.name(),
+                    at: now,
+                    progress: progress_snapshot(&active, last_progress),
+                });
+            }
             for a in batch {
+                check_assignment(cluster, cfg, now, &active, &free, &down, &a)?;
                 apply_assignment(
                     cluster,
                     sampler,
@@ -346,12 +418,12 @@ pub fn simulate_with_faults(
                     now,
                     &mut active,
                     &mut free,
-                    &down,
                     &speed_factor,
                     &mut events,
                     &mut seq,
                     a,
                 );
+                last_progress = now;
             }
         }
         if cfg.record_utilization {
@@ -387,7 +459,7 @@ pub fn simulate_with_faults(
     );
 
     let makespan = done.iter().map(|j| j.finish).max().unwrap_or(0);
-    SimReport {
+    Ok(SimReport {
         scheduler: scheduler.name(),
         jobs: done,
         makespan,
@@ -397,7 +469,8 @@ pub fn simulate_with_faults(
         utilization,
         timeline,
         faults: fstats,
-    }
+        guard: scheduler.guard_stats().unwrap_or_default(),
+    })
 }
 
 fn copy_is_live(active: &BTreeMap<JobId, JobState>, ev: &Event) -> bool {
@@ -417,6 +490,10 @@ fn copy_is_live(active: &BTreeMap<JobId, JobState>, ev: &Event) -> bool {
 
 /// Apply one fault event: mutate cluster/job state and queue the
 /// scheduler hooks to run once every event of the slot has landed.
+///
+/// A malformed timeline (unknown server, restore of a server that is
+/// not down) yields [`SimError::InvalidTimeline`] instead of mutating
+/// anything.
 #[allow(clippy::too_many_arguments)]
 fn apply_fault(
     event: FaultEvent,
@@ -432,17 +509,22 @@ fn apply_fault(
     stats: &mut FaultStats,
     mut timeline: Option<&mut Vec<CopySpan>>,
     hooks: &mut Vec<FaultHook>,
-) {
+) -> Result<(), SimError> {
     let server = event.server();
     let sid = server.0 as usize;
-    assert!(sid < cluster.len(), "fault event for unknown server {sid}");
+    if sid >= cluster.len() {
+        return Err(SimError::InvalidTimeline {
+            at: now,
+            detail: format!("fault event for unknown server {sid}"),
+        });
+    }
     match event {
         FaultEvent::Crash(_) => {
             down[sid] += 1;
             if down[sid] > 1 {
                 // Already offline (overlapping blackout window): counted,
                 // nothing left to evict.
-                return;
+                return Ok(());
             }
             stats.server_crashes += 1;
             free[sid] = Resources::ZERO;
@@ -508,10 +590,12 @@ fn apply_fault(
             }
         }
         FaultEvent::Restore(_) => {
-            assert!(
-                down[sid] > 0,
-                "restore at slot {now} for server {sid} that is not down"
-            );
+            if down[sid] == 0 {
+                return Err(SimError::InvalidTimeline {
+                    at: now,
+                    detail: format!("restore at slot {now} for server {sid} that is not down"),
+                });
+            }
             down[sid] -= 1;
             if down[sid] == 0 {
                 free[sid] = cluster.server(server).capacity;
@@ -554,6 +638,7 @@ fn apply_fault(
             }
         }
     }
+    Ok(())
 }
 
 /// Retire the copy named by `ev` as the task's winner; kill siblings,
@@ -568,6 +653,7 @@ fn retire_copy(
     finished_jobs: &mut Vec<JobId>,
     mut timeline: Option<&mut Vec<CopySpan>>,
 ) {
+    #[allow(clippy::expect_used)] // copy_is_live gated the event on this
     let job = active
         .get_mut(&ev.task.job)
         .expect("live copy ⇒ job active");
@@ -637,6 +723,113 @@ fn retire_copy(
     }
 }
 
+/// Validate one assignment against current engine state *before* any
+/// mutation, classifying each failure mode on the [`RejectReason`]
+/// taxonomy. [`crate::guard::GuardedScheduler`] performs the same checks
+/// (against its batch-local view) so that guarded batches always pass
+/// here.
+fn check_assignment(
+    cluster: &ClusterSpec,
+    cfg: &EngineConfig,
+    now: Time,
+    active: &BTreeMap<JobId, JobState>,
+    free: &[Resources],
+    down: &[u32],
+    a: &Assignment,
+) -> Result<(), AdmissionError> {
+    let reject = |reason: RejectReason, detail: String| {
+        Err(AdmissionError {
+            at: now,
+            assignment: *a,
+            reason,
+            detail,
+        })
+    };
+    let Some(job) = active.get(&a.task.job) else {
+        return reject(
+            RejectReason::UnknownJob,
+            format!("assignment for unknown job {}", a.task.job.0),
+        );
+    };
+    let pi = a.task.phase.0 as usize;
+    let ti = a.task.task.0 as usize;
+    if pi >= job.spec().num_phases() || ti >= job.spec().phase(a.task.phase).ntasks as usize {
+        return reject(
+            RejectReason::UnknownJob,
+            format!("assignment for out-of-range task {}", a.task),
+        );
+    }
+    if !job.phases[pi].runnable {
+        return reject(
+            RejectReason::UnknownJob,
+            format!("assignment for blocked phase of task {}", a.task),
+        );
+    }
+
+    let task = &job.tasks[pi][ti];
+    match a.kind {
+        // A re-queued task (crash evicted its last copy) carries dead
+        // copies from the lost attempt, so Ready + no *live* copy is the
+        // invariant, not an empty copy list.
+        CopyKind::Primary => {
+            if task.status != TaskStatus::Ready || task.copies.iter().any(|c| c.live) {
+                return reject(
+                    RejectReason::DuplicateCopy,
+                    format!(
+                        "primary copy for task {} in state {:?}",
+                        a.task, task.status
+                    ),
+                );
+            }
+        }
+        CopyKind::Clone => {
+            if task.status != TaskStatus::Running {
+                return reject(
+                    RejectReason::DuplicateCopy,
+                    format!("clone for non-running task {}", a.task),
+                );
+            }
+            if task.live_copies() >= cfg.max_copies_per_task {
+                return reject(
+                    RejectReason::DuplicateCopy,
+                    format!(
+                        "task {} exceeds the {}-copy cap",
+                        a.task, cfg.max_copies_per_task
+                    ),
+                );
+            }
+        }
+    }
+
+    let sid = a.server.0 as usize;
+    if sid >= cluster.len() {
+        return reject(
+            RejectReason::ServerDown,
+            format!("assignment to unknown server {sid}"),
+        );
+    }
+    if down[sid] > 0 {
+        return reject(
+            RejectReason::ServerDown,
+            format!("assignment to downed server {sid} (task {})", a.task),
+        );
+    }
+    let demand = job.spec().phase(a.task.phase).demand;
+    if !demand.fits_in(free[sid]) {
+        return reject(
+            RejectReason::OverCommit,
+            format!(
+                "over-commitment on server {sid}: demand {} > free {} (task {})",
+                demand, free[sid], a.task
+            ),
+        );
+    }
+    Ok(())
+}
+
+/// Launch the (pre-validated) copy: charge capacity, sample a duration,
+/// and queue the finish event. Infallible — callers run
+/// [`check_assignment`] first.
 #[allow(clippy::too_many_arguments)]
 fn apply_assignment(
     cluster: &ClusterSpec,
@@ -645,69 +838,21 @@ fn apply_assignment(
     now: Time,
     active: &mut BTreeMap<JobId, JobState>,
     free: &mut [Resources],
-    down: &[u32],
     speed_factor: &[f64],
     events: &mut BinaryHeap<Reverse<Event>>,
     seq: &mut u64,
     a: Assignment,
 ) {
+    #[allow(clippy::expect_used)] // check_assignment verified the job exists
     let job = active
         .get_mut(&a.task.job)
-        .unwrap_or_else(|| panic!("assignment for unknown job {}", a.task.job.0));
+        .expect("checked: assignment for known job");
     let spec_phase = job.spec().phase(a.task.phase).clone();
     let pi = a.task.phase.0 as usize;
     let ti = a.task.task.0 as usize;
-    assert!(
-        pi < job.spec().num_phases() && ti < spec_phase.ntasks as usize,
-        "assignment for out-of-range task {}",
-        a.task
-    );
-    assert!(
-        job.phases[pi].runnable,
-        "assignment for blocked phase of task {}",
-        a.task
-    );
-
     let task = &mut job.tasks[pi][ti];
-    match a.kind {
-        // A re-queued task (crash evicted its last copy) carries dead
-        // copies from the lost attempt, so Ready + no *live* copy is the
-        // invariant, not an empty copy list.
-        CopyKind::Primary => assert!(
-            task.status == TaskStatus::Ready && task.copies.iter().all(|c| !c.live),
-            "primary copy for task {} in state {:?}",
-            a.task,
-            task.status
-        ),
-        CopyKind::Clone => {
-            assert!(
-                task.status == TaskStatus::Running,
-                "clone for non-running task {}",
-                a.task
-            );
-            assert!(
-                task.live_copies() < cfg.max_copies_per_task,
-                "task {} exceeds the {}-copy cap",
-                a.task,
-                cfg.max_copies_per_task
-            );
-        }
-    }
 
     let sid = a.server.0 as usize;
-    assert!(sid < cluster.len(), "assignment to unknown server {sid}");
-    assert!(
-        down[sid] == 0,
-        "assignment to downed server {sid} (task {})",
-        a.task
-    );
-    assert!(
-        spec_phase.demand.fits_in(free[sid]),
-        "over-commitment on server {sid}: demand {} > free {} (task {})",
-        spec_phase.demand,
-        free[sid],
-        a.task
-    );
     free[sid] -= spec_phase.demand;
 
     let copy_idx = task.launched_copies();

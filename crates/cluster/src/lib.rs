@@ -16,7 +16,14 @@
 //! * [`scheduler`] — the [`scheduler::Scheduler`] trait every policy
 //!   implements, plus a FIFO/first-fit reference policy;
 //! * [`engine`] — the simulation loop ([`engine::simulate`] and its
-//!   fault-injected variant [`engine::simulate_with_faults`]);
+//!   fault-injected variant [`engine::simulate_with_faults`], plus the
+//!   non-panicking [`engine::try_simulate`] /
+//!   [`engine::try_simulate_with_faults`]);
+//! * [`error`] — the typed admission/abort taxonomy
+//!   ([`error::RejectReason`], [`error::SimError`]);
+//! * [`guard`] — the [`guard::GuardedScheduler`] containment wrapper
+//!   (validation, watchdog, panic isolation, safe fallback, overload
+//!   backpressure);
 //! * [`fault`] — timed fault events (crash / restore / fail-slow) and
 //!   the sorted timeline the engine consumes;
 //! * [`metrics`] — per-job metrics, reports, CDF helpers.
@@ -38,10 +45,16 @@
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
+// Containment discipline: non-test library code must not take shortcut
+// aborts — every deliberate fail-loud site carries a local `#[allow]`
+// with a justification comment.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod engine;
+pub mod error;
 pub mod execution;
 pub mod fault;
+pub mod guard;
 pub mod metrics;
 pub mod scheduler;
 pub mod spec;
@@ -50,11 +63,16 @@ pub mod view;
 
 /// Commonly used simulator types.
 pub mod prelude {
-    pub use crate::engine::{simulate, simulate_with_faults, EngineConfig};
+    pub use crate::engine::{
+        simulate, simulate_with_faults, try_simulate, try_simulate_with_faults, EngineConfig,
+    };
+    pub use crate::error::{AdmissionError, ProgressSnapshot, RejectReason, SimError};
     pub use crate::execution::{DurationSampler, StragglerModel};
     pub use crate::fault::{FaultEvent, FaultTimeline, TimedFault};
+    pub use crate::guard::{CloneThrottle, GuardConfig, GuardedScheduler};
     pub use crate::metrics::{
-        cdf, cdf_at, jain_index, quantile, FaultStats, JobMetrics, SchedOverhead, SimReport,
+        cdf, cdf_at, jain_index, quantile, FaultStats, GuardStats, JobMetrics, SchedOverhead,
+        SimReport,
     };
     pub use crate::scheduler::{clone_allowed, Assignment, FifoFirstFit, Scheduler};
     pub use crate::spec::{ClusterSpec, ServerId, ServerSpec};

@@ -1,6 +1,7 @@
 //! Simulation outputs: per-job metrics, report aggregation and the CDF /
 //! percentile helpers the paper's figures are built from.
 
+use crate::error::RejectReason;
 use crate::spec::ServerId;
 use crate::state::CopyKind;
 use dollymp_core::job::{JobId, TaskRef};
@@ -173,6 +174,77 @@ pub struct FaultStats {
     pub work_lost_norm: f64,
 }
 
+/// Containment-layer counters for one run (all zero when no
+/// [`crate::guard::GuardedScheduler`] was in the loop, or when the
+/// wrapped policy behaved — so a clean guarded run's report equals the
+/// unguarded one).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GuardStats {
+    /// Assignments dropped for over-committing free capacity.
+    pub rejected_overcommit: u64,
+    /// Assignments dropped for naming an unknown/blocked job, phase or
+    /// task.
+    pub rejected_unknown_job: u64,
+    /// Assignments dropped for targeting an unknown or crashed server.
+    pub rejected_server_down: u64,
+    /// Assignments dropped for illegal extra copies (duplicate primary,
+    /// clone of a non-running task, copy-cap excess).
+    pub rejected_duplicate_copy: u64,
+    /// Policy panics caught by `catch_unwind` (each one quarantines the
+    /// policy — its internal state is poisoned).
+    pub policy_panics: u64,
+    /// Decision passes whose wall-clock time exceeded the watchdog
+    /// budget.
+    pub budget_overruns: u64,
+    /// Passes where the policy returned nothing while the cluster was
+    /// otherwise idle and the safe fallback could place work (each one a
+    /// prevented engine stall).
+    pub stall_rescues: u64,
+    /// Decision passes served by the safe-fallback policy (panic passes,
+    /// stall rescues, and every pass after quarantine).
+    pub fallback_passes: u64,
+    /// Clone assignments dropped by saturation backpressure.
+    pub clones_throttled: u64,
+    /// Assignments deferred to a later pass by the bounded pending
+    /// queue.
+    pub deferred: u64,
+    /// Deferred assignments dropped because the pending queue was full.
+    pub deferrals_dropped: u64,
+    /// Slot at which the policy was quarantined and permanently replaced
+    /// by the fallback, if that happened.
+    pub quarantined_at: Option<Time>,
+}
+
+impl GuardStats {
+    /// Total dropped assignments across all rejection reasons.
+    pub fn total_rejections(&self) -> u64 {
+        self.rejected_overcommit
+            + self.rejected_unknown_job
+            + self.rejected_server_down
+            + self.rejected_duplicate_copy
+    }
+
+    /// Record one dropped assignment under its taxonomy bucket.
+    /// `Stalled` maps to a stall rescue and `ClockOverrun` to a budget
+    /// overrun, so every [`RejectReason`] has a home.
+    pub fn record_rejection(&mut self, reason: RejectReason) {
+        match reason {
+            RejectReason::OverCommit => self.rejected_overcommit += 1,
+            RejectReason::UnknownJob => self.rejected_unknown_job += 1,
+            RejectReason::ServerDown => self.rejected_server_down += 1,
+            RejectReason::DuplicateCopy => self.rejected_duplicate_copy += 1,
+            RejectReason::Stalled => self.stall_rescues += 1,
+            RejectReason::ClockOverrun => self.budget_overruns += 1,
+        }
+    }
+
+    /// True when the guard never had to intervene (the report is then
+    /// identical to an unguarded run's).
+    pub fn is_clean(&self) -> bool {
+        *self == GuardStats::default()
+    }
+}
+
 /// Everything a simulation run produces.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimReport {
@@ -197,6 +269,11 @@ pub struct SimReport {
     /// existed still deserialize.
     #[serde(default)]
     pub faults: FaultStats,
+    /// Containment counters — all zero for unguarded runs or guarded
+    /// runs of a well-behaved policy. `#[serde(default)]` so reports
+    /// written before the guard existed still deserialize.
+    #[serde(default)]
+    pub guard: GuardStats,
     /// Cluster utilization samples `(slot, cpu fraction, mem fraction)`
     /// taken after every decision point — empty unless
     /// `EngineConfig::record_utilization` was set.
@@ -365,7 +442,7 @@ pub fn jain_index(values: &[f64]) -> f64 {
 /// pairs. The building block of Figs. 4–6, 8, 9, 11.
 pub fn cdf(mut values: Vec<f64>) -> Vec<(f64, f64)> {
     values.retain(|v| v.is_finite());
-    values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    values.sort_by(f64::total_cmp);
     let n = values.len();
     values
         .into_iter()
@@ -389,7 +466,7 @@ pub fn quantile(values: &[f64], q: f64) -> f64 {
     if v.is_empty() {
         return 0.0;
     }
-    v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    v.sort_by(f64::total_cmp);
     let idx = ((q.clamp(0.0, 1.0) * v.len() as f64).ceil() as usize).clamp(1, v.len()) - 1;
     v[idx]
 }
@@ -424,6 +501,7 @@ mod tests {
             scheduling_ns: 0,
             sched_overhead: SchedOverhead::default(),
             faults: FaultStats::default(),
+            guard: GuardStats::default(),
             utilization: Vec::new(),
             timeline: Vec::new(),
         }
@@ -443,6 +521,26 @@ mod tests {
         r2.sched_overhead = SchedOverhead::from_samples(&[5, 10, 15]);
         let back: SimReport = serde_json::from_str(&serde_json::to_string(&r2).unwrap()).unwrap();
         assert_eq!(back.sched_overhead, r2.sched_overhead);
+    }
+
+    #[test]
+    fn guard_stats_bucket_every_reason() {
+        let mut g = GuardStats::default();
+        assert!(g.is_clean());
+        for r in [
+            RejectReason::OverCommit,
+            RejectReason::UnknownJob,
+            RejectReason::ServerDown,
+            RejectReason::DuplicateCopy,
+            RejectReason::Stalled,
+            RejectReason::ClockOverrun,
+        ] {
+            g.record_rejection(r);
+        }
+        assert_eq!(g.total_rejections(), 4, "engine-level reasons excluded");
+        assert_eq!(g.stall_rescues, 1);
+        assert_eq!(g.budget_overruns, 1);
+        assert!(!g.is_clean());
     }
 
     #[test]

@@ -64,6 +64,49 @@ pub trait Scheduler {
 
     /// Produce the placement batch for this decision point.
     fn schedule(&mut self, view: &ClusterView<'_>) -> Vec<Assignment>;
+
+    /// Containment counters, for policies wrapped in
+    /// [`crate::guard::GuardedScheduler`]. The engine stores the returned
+    /// value on [`crate::metrics::SimReport::guard`] when the run drains.
+    /// `None` (the default) means "not guarded" and records as all-zero
+    /// stats, so unguarded and cleanly-guarded reports are identical.
+    fn guard_stats(&self) -> Option<crate::metrics::GuardStats> {
+        None
+    }
+}
+
+impl Scheduler for Box<dyn Scheduler> {
+    fn name(&self) -> String {
+        self.as_ref().name()
+    }
+
+    fn on_job_arrival(&mut self, view: &ClusterView<'_>, job: JobId) {
+        self.as_mut().on_job_arrival(view, job)
+    }
+
+    fn on_job_finish(&mut self, job: &crate::state::JobState) {
+        self.as_mut().on_job_finish(job)
+    }
+
+    fn on_server_down(&mut self, view: &ClusterView<'_>, server: ServerId) {
+        self.as_mut().on_server_down(view, server)
+    }
+
+    fn on_server_up(&mut self, view: &ClusterView<'_>, server: ServerId) {
+        self.as_mut().on_server_up(view, server)
+    }
+
+    fn on_task_lost(&mut self, view: &ClusterView<'_>, task: TaskRef) {
+        self.as_mut().on_task_lost(view, task)
+    }
+
+    fn schedule(&mut self, view: &ClusterView<'_>) -> Vec<Assignment> {
+        self.as_mut().schedule(view)
+    }
+
+    fn guard_stats(&self) -> Option<crate::metrics::GuardStats> {
+        self.as_ref().guard_stats()
+    }
 }
 
 /// Reference policy: FIFO job order, first-fit placement, no cloning.

@@ -1,0 +1,105 @@
+//! Serde backward compatibility for [`SimReport`]: archived reports from
+//! older builds must keep deserializing as the struct grows. Fields
+//! added after the seed (`sched_overhead` in PR 1, `faults` in PR 2,
+//! `guard` in PR 3) are all `#[serde(default)]`, so their absence means
+//! "all zero" — exactly what those runs would have recorded.
+
+use dollymp_cluster::prelude::*;
+
+/// A report as the pre-fault-injection builds wrote it: no `faults`, no
+/// `guard`, no `sched_overhead`.
+const PRE_PR2_JSON: &str = r#"{
+    "scheduler": "dollymp2",
+    "jobs": [{
+        "id": 0,
+        "label": "wordcount",
+        "arrival": 0,
+        "first_start": 1,
+        "finish": 21,
+        "flowtime": 21,
+        "running_time": 20,
+        "tasks": 8,
+        "clone_copies": 2,
+        "tasks_cloned": 2,
+        "usage": 3.5
+    }],
+    "makespan": 21,
+    "decision_points": 4,
+    "scheduling_ns": 1200,
+    "utilization": [],
+    "timeline": []
+}"#;
+
+/// A report as PR 2 builds wrote it: `faults` present, `guard` absent.
+const PRE_PR3_JSON: &str = r#"{
+    "scheduler": "capacity",
+    "jobs": [],
+    "makespan": 0,
+    "decision_points": 0,
+    "scheduling_ns": 0,
+    "sched_overhead": {
+        "decision_points": 3,
+        "total_ns": 300,
+        "mean_ns": 100,
+        "p99_ns": 130,
+        "max_ns": 130
+    },
+    "faults": {
+        "server_crashes": 2,
+        "server_recoveries": 2,
+        "server_degradations": 0,
+        "copies_evicted": 5,
+        "tasks_requeued": 3,
+        "tasks_saved_by_clone": 2,
+        "work_lost_norm": 0.75
+    },
+    "utilization": [],
+    "timeline": []
+}"#;
+
+#[test]
+fn pre_fault_injection_report_still_deserializes() {
+    let r: SimReport = serde_json::from_str(PRE_PR2_JSON).expect("pre-PR2 JSON");
+    assert_eq!(r.scheduler, "dollymp2");
+    assert_eq!(r.jobs.len(), 1);
+    assert_eq!(r.makespan, 21);
+    assert_eq!(r.faults, FaultStats::default(), "missing faults ⇒ zeroed");
+    assert_eq!(r.guard, GuardStats::default(), "missing guard ⇒ zeroed");
+    assert!(r.guard.is_clean());
+    assert_eq!(r.sched_overhead, SchedOverhead::default());
+}
+
+#[test]
+fn pre_guard_report_still_deserializes() {
+    let r: SimReport = serde_json::from_str(PRE_PR3_JSON).expect("pre-PR3 JSON");
+    assert_eq!(r.scheduler, "capacity");
+    assert_eq!(r.faults.server_crashes, 2);
+    assert_eq!(r.faults.tasks_saved_by_clone, 2);
+    assert_eq!(r.guard, GuardStats::default(), "missing guard ⇒ zeroed");
+}
+
+#[test]
+fn fresh_report_round_trips_with_guard_stats() {
+    // A real run's report (guard counters included) must survive a
+    // serialize → deserialize cycle bit-for-bit.
+    let cluster = ClusterSpec::homogeneous(3, 4.0, 8.0);
+    let jobs = vec![dollymp_core::job::JobSpec::single_phase(
+        dollymp_core::job::JobId(0),
+        4,
+        dollymp_core::resources::Resources::new(1.0, 2.0),
+        10.0,
+        3.0,
+    )];
+    let sampler = DurationSampler::new(5, StragglerModel::ParetoFit);
+    let mut policy = GuardedScheduler::new(FifoFirstFit);
+    let report = simulate(
+        &cluster,
+        jobs,
+        &sampler,
+        &mut policy,
+        &EngineConfig::default(),
+    );
+    let json = serde_json::to_string(&report).expect("serialize");
+    let back: SimReport = serde_json::from_str(&json).expect("round trip");
+    assert_eq!(report, back);
+}

@@ -330,6 +330,66 @@ mod tests {
     }
 
     #[test]
+    fn on_task_lost_retries_in_loss_order_ahead_of_fifo() {
+        use dollymp_cluster::view::ClusterView;
+        use dollymp_core::job::{PhaseId, TaskId};
+        use std::collections::BTreeMap;
+
+        // Direct unit coverage of the recovery queue (the sim-level test
+        // above only shows the end-to-end effect): two losses reported in
+        // a specific order must be replayed in exactly that order, ahead
+        // of every FIFO placement — even though the lost tasks belong to
+        // the *later*-arriving job.
+        let cluster = ClusterSpec::homogeneous(4, 1.0, 1.0);
+        let sampler = det();
+        let mk = |id: u64, arrival: u64| {
+            JobSpec::builder(JobId(id))
+                .arrival(arrival)
+                .phase(dollymp_core::job::PhaseSpec::new(
+                    2,
+                    Resources::new(1.0, 1.0),
+                    8.0,
+                    0.0,
+                ))
+                .build()
+                .unwrap()
+        };
+        let mut jobs: BTreeMap<JobId, JobState> = BTreeMap::new();
+        for spec in [mk(0, 0), mk(1, 1)] {
+            let tables: Vec<Vec<f64>> = spec
+                .phases()
+                .iter()
+                .enumerate()
+                .map(|(pi, p)| sampler.phase_table(spec.id, PhaseId(pi as u32), p))
+                .collect();
+            jobs.insert(spec.id, JobState::new(spec, tables));
+        }
+        let free: Vec<Resources> = cluster.servers().iter().map(|s| s.capacity).collect();
+        let view = ClusterView::new(5, &cluster, &free, &jobs);
+
+        let tref = |job: u64, task: u32| TaskRef {
+            job: JobId(job),
+            phase: PhaseId(0),
+            task: TaskId(task),
+        };
+        let mut s = CapacityScheduler::without_speculation();
+        // Loss order: job 1's task 1 first, then its task 0.
+        s.on_task_lost(&view, tref(1, 1));
+        s.on_task_lost(&view, tref(1, 0));
+        s.on_task_lost(&view, tref(1, 1)); // duplicate report is a no-op
+        assert_eq!(s.recovering, vec![tref(1, 1), tref(1, 0)]);
+
+        let batch = s.schedule(&view);
+        let order: Vec<TaskRef> = batch.iter().map(|a| a.task).collect();
+        assert_eq!(
+            order,
+            vec![tref(1, 1), tref(1, 0), tref(0, 0), tref(0, 1)],
+            "lost attempts replay in loss order, ahead of the FIFO queue"
+        );
+        assert!(s.recovering.is_empty(), "replayed entries are consumed");
+    }
+
+    #[test]
     fn names() {
         assert_eq!(CapacityScheduler::new().name(), "capacity");
         assert_eq!(

@@ -17,10 +17,16 @@
 //!
 //! Use [`by_name`] to build a scheduler from its string name (the
 //! experiment binaries' CLI contract).
+//!
+//! The [`adversarial`] module additionally provides
+//! [`AdversarialScheduler`] — an intentionally misbehaving policy used
+//! to exercise `dollymp_cluster::guard::GuardedScheduler`. It is *not*
+//! part of [`ALL_NAMES`] (those must survive strict, unguarded runs).
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod adversarial;
 pub mod capacity;
 pub mod carbyne;
 pub mod common;
@@ -31,6 +37,7 @@ pub mod learned;
 pub mod priority;
 pub mod tetris;
 
+pub use adversarial::{AdversarialConfig, AdversarialScheduler};
 pub use capacity::{CapacityScheduler, SpeculationConfig};
 pub use carbyne::Carbyne;
 pub use dollymp::DollyMP;

@@ -150,11 +150,18 @@ impl Scheduler for YarnSystem {
         let mut free = FreeTracker::new(view);
         let mut out: Vec<Assignment> = Vec::new();
 
-        // Gather container requests per job (ready tasks only).
+        // Gather container requests per job (ready tasks only). The RM
+        // validates each request rather than trusting the AM (same
+        // RejectReason taxonomy as the engine/guard); invalid ones are
+        // dropped and counted.
         let mut requests: HashMap<JobId, Vec<ContainerRequest>> = HashMap::new();
         for job in view.jobs() {
             if let Some(am) = self.ams.get(&job.id()) {
-                let reqs = am.container_requests(job, view.cluster());
+                let reqs: Vec<ContainerRequest> = am
+                    .container_requests(job, view.cluster())
+                    .into_iter()
+                    .filter(|r| self.rm.admit_request(view.cluster(), r))
+                    .collect();
                 if !reqs.is_empty() {
                     requests.insert(job.id(), reqs);
                 }

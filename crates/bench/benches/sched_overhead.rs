@@ -44,7 +44,7 @@ fn bench_schedule_pass(c: &mut Criterion) {
     let servers = 30_000u32;
     let njobs = 1_000u64;
     let cluster = ClusterSpec::google_like(servers, 1);
-    let free: Vec<Resources> = cluster.servers().iter().map(|s| s.capacity).collect();
+    let free = dollymp_cluster::capacity::CapacityIndex::from_capacities(&cluster);
 
     // 1 000 active jobs, each with a handful of ready tasks.
     let mut jobs: BTreeMap<JobId, dollymp_cluster::state::JobState> = BTreeMap::new();

@@ -60,7 +60,7 @@ fn measure_transient_1000() -> u64 {
 
 fn measure_schedule_pass() -> u64 {
     let cluster = ClusterSpec::google_like(30_000, 1);
-    let free: Vec<Resources> = cluster.servers().iter().map(|s| s.capacity).collect();
+    let free = dollymp_cluster::capacity::CapacityIndex::from_capacities(&cluster);
     let mut jobs: BTreeMap<JobId, dollymp_cluster::state::JobState> = BTreeMap::new();
     for i in 0..1000u64 {
         let spec = JobSpec::single_phase(
@@ -121,9 +121,7 @@ fn simulated_overhead() -> SchedOverhead {
     r.sched_overhead
 }
 
-fn obj(pairs: Vec<(&str, serde_json::Value)>) -> serde_json::Value {
-    serde_json::Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
-}
+use dollymp_bench::runner::json_obj as obj;
 
 fn entry(name: &str, before_ns: u64, after_ns: u64) -> serde_json::Value {
     let speedup = before_ns as f64 / after_ns.max(1) as f64;

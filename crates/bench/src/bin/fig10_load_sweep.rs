@@ -10,12 +10,12 @@
 //! short and small jobs still find clone room; ~40 % of tasks hold clones
 //! at high load (their cost is small because they're small tasks).
 
+use dollymp_bench::runner::{run_matrix, Parallelism};
 use dollymp_bench::{respace_for_load, run_named, scale, write_csv};
 use dollymp_cluster::metrics::cdf;
 use dollymp_cluster::metrics::cdf_at;
 use dollymp_cluster::prelude::*;
 use dollymp_workload::{generate_google, GoogleConfig};
-use rayon::prelude::*;
 
 fn main() {
     let s = scale(10);
@@ -46,9 +46,8 @@ fn main() {
     );
 
     let mut rows = Vec::new();
-    let results: Vec<(f64, SimReport, SimReport)> = factors
-        .par_iter()
-        .map(|&f| {
+    let results: Vec<(f64, SimReport, SimReport)> =
+        run_matrix(&factors, Parallelism::from_env(), |_, &f| {
             let cluster = base_cluster.scale_cpu(f);
             let r0 = run_named(
                 "dollymp0",
@@ -65,8 +64,7 @@ fn main() {
                 &EngineConfig::default(),
             );
             (f, r0, r2)
-        })
-        .collect();
+        });
     for (f, r0, r2) in &results {
         let load = factors[0] / f; // relative load, 1 = lightest in sweep
         let flow_delta = (r2.total_flowtime() as f64 / r0.total_flowtime() as f64 - 1.0) * 100.0;

@@ -10,7 +10,7 @@ use std::collections::BTreeMap;
 
 fn main() {
     let cluster = ClusterSpec::google_like(30_000, 1);
-    let free: Vec<Resources> = cluster.servers().iter().map(|s| s.capacity).collect();
+    let free = dollymp_cluster::capacity::CapacityIndex::from_capacities(&cluster);
     let mut jobs: BTreeMap<JobId, dollymp_cluster::state::JobState> = BTreeMap::new();
     for i in 0..1000u64 {
         let spec = JobSpec::single_phase(

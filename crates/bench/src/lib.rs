@@ -13,6 +13,8 @@
 //! Criterion micro-benchmarks live in `benches/`:
 //! `sched_overhead` (the §6.3.3 claim), `knapsack`, `simulator`.
 
+pub mod runner;
+
 use dollymp_cluster::prelude::*;
 use dollymp_core::job::JobSpec;
 use std::fs;

@@ -21,6 +21,7 @@
 //! run without dying. To *tolerate* a misbehaving policy instead of
 //! aborting on it, wrap it in [`crate::guard::GuardedScheduler`].
 
+use crate::capacity::CapacityIndex;
 use crate::error::{AdmissionError, ProgressSnapshot, RejectReason, SimError};
 use crate::execution::DurationSampler;
 use crate::fault::{FaultEvent, FaultTimeline};
@@ -187,7 +188,7 @@ fn progress_snapshot(active: &BTreeMap<JobId, JobState>, last_progress: Time) ->
             .take(ProgressSnapshot::MAX_LISTED)
             .collect(),
         total_active: active.len(),
-        pending_tasks: active.values().map(|j| j.ready_tasks().len()).sum(),
+        pending_tasks: active.values().map(|j| j.iter_ready().count()).sum(),
         last_progress,
     }
 }
@@ -224,7 +225,9 @@ pub fn try_simulate_with_faults(
     arrivals.sort_by_key(|j| std::cmp::Reverse((j.arrival, j.id)));
 
     let mut active: BTreeMap<JobId, JobState> = BTreeMap::new();
-    let mut free: Vec<Resources> = cluster.servers().iter().map(|s| s.capacity).collect();
+    // Hierarchical free-capacity index, incrementally maintained across
+    // launch/retire/fault events — never re-snapshotted per decision point.
+    let mut free = CapacityIndex::from_capacities(cluster);
     let mut events: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
     let mut seq = 0u64;
     let mut done: Vec<JobMetrics> = Vec::new();
@@ -245,6 +248,11 @@ pub fn try_simulate_with_faults(
     let mut speed_factor: Vec<f64> = vec![1.0; cluster.len()];
     let mut fault_idx = 0usize;
     let mut fstats = FaultStats::default();
+    // Scratch buffers reused across decision points so the steady-state
+    // loop allocates nothing.
+    let mut finished_jobs: Vec<JobId> = Vec::new();
+    let mut hooks: Vec<FaultHook> = Vec::new();
+    let mut children_scratch: Vec<PhaseId> = Vec::new();
 
     while !arrivals.is_empty() || !active.is_empty() {
         // Drop stale events (killed copies) from the heap front.
@@ -288,7 +296,7 @@ pub fn try_simulate_with_faults(
         }
 
         // 1) Retire copies finishing now (and any stale events en route).
-        let mut finished_jobs: Vec<JobId> = Vec::new();
+        finished_jobs.clear();
         while let Some(Reverse(ev)) = events.peek() {
             if ev.finish > now {
                 break;
@@ -305,11 +313,12 @@ pub fn try_simulate_with_faults(
                 now,
                 &ev,
                 &mut finished_jobs,
+                &mut children_scratch,
                 cfg.record_timeline.then_some(&mut timeline),
             );
             last_progress = now;
         }
-        for id in finished_jobs {
+        for id in finished_jobs.drain(..) {
             #[allow(clippy::expect_used)] // retire_copy listed it from `active`
             let job = active.remove(&id).expect("finished job present");
             done.push(job_metrics(&job, now));
@@ -319,7 +328,7 @@ pub fn try_simulate_with_faults(
         // 1b) Apply fault events due now — after completions (a copy
         // finishing exactly at the crash slot completed first), before
         // arrivals and scheduling (re-queued tasks compete this slot).
-        let mut hooks: Vec<FaultHook> = Vec::new();
+        hooks.clear();
         while faults.events().get(fault_idx).is_some_and(|f| f.at <= now) {
             let f = faults.events()[fault_idx];
             fault_idx += 1;
@@ -343,7 +352,7 @@ pub fn try_simulate_with_faults(
             let view = ClusterView {
                 now,
                 spec: cluster,
-                free: &free,
+                cap: &free,
                 jobs: &active,
             };
             for h in &hooks {
@@ -375,7 +384,7 @@ pub fn try_simulate_with_faults(
             let view = ClusterView {
                 now,
                 spec: cluster,
-                free: &free,
+                cap: &free,
                 jobs: &active,
             };
             let t0 = std::time::Instant::now();
@@ -388,7 +397,7 @@ pub fn try_simulate_with_faults(
             let view = ClusterView {
                 now,
                 spec: cluster,
-                free: &free,
+                cap: &free,
                 jobs: &active,
             };
             let t0 = std::time::Instant::now();
@@ -427,7 +436,16 @@ pub fn try_simulate_with_faults(
             }
         }
         if cfg.record_utilization {
-            let used = totals - free.iter().copied().sum::<Resources>();
+            // O(1): the index keeps the total-free running sum up to date
+            // across launch/retire/fault events (exact integer milli-unit
+            // arithmetic, so it equals a full re-summation bit-for-bit).
+            let total_free = free.total_free();
+            debug_assert_eq!(
+                total_free,
+                free.fold_total_free(),
+                "incremental total-free counter drifted from the re-summed value"
+            );
+            let used = totals - total_free;
             utilization.push((
                 now,
                 if totals.cpu() > 0.0 {
@@ -445,16 +463,14 @@ pub fn try_simulate_with_faults(
     }
 
     debug_assert!(
-        free.iter()
-            .zip(cluster.servers())
-            .enumerate()
-            .all(|(i, (f, s))| {
-                if down[i] > 0 {
-                    *f == Resources::ZERO
-                } else {
-                    *f == s.capacity
-                }
-            }),
+        cluster.servers().iter().enumerate().all(|(i, s)| {
+            let f = free.free(ServerId(i as u32));
+            if down[i] > 0 {
+                f == Resources::ZERO
+            } else {
+                f == s.capacity
+            }
+        }),
         "resource leak: free != capacity after drain"
     );
 
@@ -501,7 +517,7 @@ fn apply_fault(
     cluster: &ClusterSpec,
     totals: Resources,
     active: &mut BTreeMap<JobId, JobState>,
-    free: &mut [Resources],
+    free: &mut CapacityIndex,
     down: &mut [u32],
     speed_factor: &mut [f64],
     events: &mut BinaryHeap<Reverse<Event>>,
@@ -527,7 +543,7 @@ fn apply_fault(
                 return Ok(());
             }
             stats.server_crashes += 1;
-            free[sid] = Resources::ZERO;
+            free.set_free(server, Resources::ZERO);
             hooks.push(FaultHook::Down(server));
             for (&jid, job) in active.iter_mut() {
                 for pi in 0..job.tasks.len() {
@@ -598,7 +614,7 @@ fn apply_fault(
             }
             down[sid] -= 1;
             if down[sid] == 0 {
-                free[sid] = cluster.server(server).capacity;
+                free.set_free(server, cluster.server(server).capacity);
                 stats.server_recoveries += 1;
                 hooks.push(FaultHook::Up(server));
             }
@@ -646,11 +662,12 @@ fn apply_fault(
 #[allow(clippy::too_many_arguments)]
 fn retire_copy(
     active: &mut BTreeMap<JobId, JobState>,
-    free: &mut [Resources],
+    free: &mut CapacityIndex,
     totals: Resources,
     now: Time,
     ev: &Event,
     finished_jobs: &mut Vec<JobId>,
+    children_scratch: &mut Vec<PhaseId>,
     mut timeline: Option<&mut Vec<CopySpan>>,
 ) {
     #[allow(clippy::expect_used)] // copy_is_live gated the event on this
@@ -668,7 +685,7 @@ fn retire_copy(
     // End every live copy: the winner completes, the rest are killed.
     for c in task.copies.iter_mut().filter(|c| c.live) {
         c.live = false;
-        free[c.server.0 as usize] += demand;
+        free.add_free(c.server, demand);
         job.usage_norm += demand_norm * now.saturating_sub(c.start) as f64;
         if c.copy_idx == ev.copy_idx {
             winner_start = c.start;
@@ -700,8 +717,10 @@ fn retire_copy(
     job.phases[pi].remaining -= 1;
     if job.phases[pi].remaining == 0 {
         // Unlock children whose parents are now all complete (Eq. 7).
-        let children: Vec<PhaseId> = job.spec().children(ev.task.phase).to_vec();
-        for child in children {
+        // Copied into a reused scratch buffer to release the spec borrow.
+        children_scratch.clear();
+        children_scratch.extend_from_slice(job.spec().children(ev.task.phase));
+        for &child in children_scratch.iter() {
             let ready = job
                 .spec()
                 .phase(child)
@@ -733,7 +752,7 @@ fn check_assignment(
     cfg: &EngineConfig,
     now: Time,
     active: &BTreeMap<JobId, JobState>,
-    free: &[Resources],
+    free: &CapacityIndex,
     down: &[u32],
     a: &Assignment,
 ) -> Result<(), AdmissionError> {
@@ -815,12 +834,13 @@ fn check_assignment(
         );
     }
     let demand = job.spec().phase(a.task.phase).demand;
-    if !demand.fits_in(free[sid]) {
+    let avail = free.free(a.server);
+    if !demand.fits_in(avail) {
         return reject(
             RejectReason::OverCommit,
             format!(
-                "over-commitment on server {sid}: demand {} > free {} (task {})",
-                demand, free[sid], a.task
+                "over-commitment on server {sid}: demand {demand} > free {avail} (task {})",
+                a.task
             ),
         );
     }
@@ -837,7 +857,7 @@ fn apply_assignment(
     cfg: &EngineConfig,
     now: Time,
     active: &mut BTreeMap<JobId, JobState>,
-    free: &mut [Resources],
+    free: &mut CapacityIndex,
     speed_factor: &[f64],
     events: &mut BinaryHeap<Reverse<Event>>,
     seq: &mut u64,
@@ -853,7 +873,7 @@ fn apply_assignment(
     let task = &mut job.tasks[pi][ti];
 
     let sid = a.server.0 as usize;
-    free[sid] -= spec_phase.demand;
+    free.sub_free(a.server, spec_phase.demand);
 
     let copy_idx = task.launched_copies();
     let mut base = sampler.copy_duration(
@@ -1295,6 +1315,55 @@ mod tests {
         let (_, cpu, mem) = r.utilization[0];
         assert!((cpu - 1.0).abs() < 1e-9);
         assert!((mem - 1.0).abs() < 1e-9);
+    }
+
+    /// The incremental used-capacity counters behind the O(1) utilization
+    /// probe must agree with an *independent* re-summation, bit for bit:
+    /// every recorded sample is re-derived from the copy timeline (the
+    /// demands of all copies live at the sample slot) and compared with
+    /// `==` on the raw `f64`s — integer milli-unit arithmetic on both
+    /// sides, so there is no tolerance to hide drift behind.
+    #[test]
+    fn utilization_samples_match_timeline_resum_exactly() {
+        let cluster = ClusterSpec::paper_30_node();
+        let mut jobs = Vec::new();
+        for i in 0..12u64 {
+            jobs.push(
+                JobSpec::builder(JobId(i))
+                    .arrival(i * 2)
+                    .phase(PhaseSpec::new(
+                        3 + (i % 4) as u32,
+                        Resources::new(1.0 + (i % 3) as f64, 2.0 + (i % 2) as f64),
+                        6.0 + (i % 5) as f64,
+                        3.0,
+                    ))
+                    .build()
+                    .expect("valid spec"),
+            );
+        }
+        let specs: Vec<JobSpec> = jobs.clone();
+        let cfg = EngineConfig {
+            record_utilization: true,
+            record_timeline: true,
+            ..Default::default()
+        };
+        let sampler = DurationSampler::new(5, StragglerModel::ParetoFit);
+        let r = simulate(&cluster, jobs, &sampler, &mut FifoFirstFit, &cfg);
+        assert!(r.utilization.len() >= 12, "one sample per decision point");
+        let totals = cluster.totals();
+        for &(slot, cpu, mem) in &r.utilization {
+            // A copy occupies its server over [start, end): launches of
+            // this decision point are sampled, completions retired just
+            // before the sample are not.
+            let used: Resources = r
+                .timeline
+                .iter()
+                .filter(|c| c.start <= slot && slot < c.end)
+                .map(|c| specs[c.task.job.0 as usize].phase(c.task.phase).demand)
+                .sum();
+            assert_eq!(cpu, used.cpu() / totals.cpu(), "cpu sample at slot {slot}");
+            assert_eq!(mem, used.mem() / totals.mem(), "mem sample at slot {slot}");
+        }
     }
 
     #[test]

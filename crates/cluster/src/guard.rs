@@ -263,7 +263,9 @@ impl<S: Scheduler> GuardedScheduler<S> {
         batch: Vec<Assignment>,
         count_from: usize,
     ) -> (Vec<Assignment>, bool) {
-        let mut free: Vec<Resources> = view.servers().map(|(_, _, f)| f).collect();
+        // Batch-local capacity accounting on an overlay: O(1) to start,
+        // no per-batch clone of the per-server free vector.
+        let free = view.capacity().begin_batch();
         // Effective (status, live copies) per task touched this batch.
         let mut effect: BTreeMap<TaskRef, (TaskStatus, u32)> = BTreeMap::new();
         let mut admitted = Vec::with_capacity(batch.len());
@@ -271,7 +273,8 @@ impl<S: Scheduler> GuardedScheduler<S> {
         for (i, a) in batch.into_iter().enumerate() {
             match self.admit_one(view, &free, &effect, &a) {
                 Ok(demand) => {
-                    free[a.server.0 as usize] -= demand;
+                    let committed = free.try_commit(a.server, demand);
+                    debug_assert!(committed, "admit_one checked the fit");
                     let e = effect.entry(a.task).or_insert_with(|| {
                         // `admit_one` verified the lookups.
                         let t = view
@@ -300,7 +303,7 @@ impl<S: Scheduler> GuardedScheduler<S> {
     fn admit_one(
         &self,
         view: &ClusterView<'_>,
-        free: &[Resources],
+        free: &crate::capacity::CapacityOverlay<'_>,
         effect: &BTreeMap<TaskRef, (TaskStatus, u32)>,
         a: &Assignment,
     ) -> Result<Resources, RejectReason> {
@@ -339,7 +342,7 @@ impl<S: Scheduler> GuardedScheduler<S> {
             return Err(RejectReason::ServerDown);
         }
         let demand = job.spec().phase(a.task.phase).demand;
-        if !demand.fits_in(free[sid]) {
+        if !demand.fits_in(free.free(a.server)) {
             return Err(RejectReason::OverCommit);
         }
         Ok(demand)
@@ -457,8 +460,8 @@ impl<S: Scheduler> Scheduler for GuardedScheduler<S> {
         // offence (an all-down cluster legitimately idles).
         if admitted.is_empty()
             && !self.quarantined
-            && view.jobs().any(|j| !j.ready_tasks().is_empty())
-            && view.jobs().all(|j| j.running_tasks().is_empty())
+            && view.jobs().any(|j| j.iter_ready().next().is_some())
+            && view.jobs().all(|j| j.iter_running().next().is_none())
         {
             let rescue = self.fallback_pass(view);
             if !rescue.is_empty() {
@@ -659,17 +662,26 @@ mod tests {
         let jobs_map = std::collections::BTreeMap::new();
         let mut g = GuardedScheduler::with_config(FifoFirstFit, GuardConfig::overload());
 
-        let full = [Resources::new(0.0, 0.0), Resources::new(0.5, 0.5)];
+        let full = crate::capacity::CapacityIndex::from_free(&[
+            Resources::new(0.0, 0.0),
+            Resources::new(0.5, 0.5),
+        ]);
         let view = ClusterView::new(0, &c, &full, &jobs_map);
         assert!(g.update_throttle(&view), "≥95% used engages the throttle");
 
         // 90% used: inside the hysteresis band — still throttling.
-        let band = [Resources::new(1.0, 1.0), Resources::new(1.0, 1.0)];
+        let band = crate::capacity::CapacityIndex::from_free(&[
+            Resources::new(1.0, 1.0),
+            Resources::new(1.0, 1.0),
+        ]);
         let view = ClusterView::new(1, &c, &band, &jobs_map);
         assert!(g.update_throttle(&view), "hysteresis holds above low");
 
         // 50% used: below low — released.
-        let idle = [Resources::new(5.0, 5.0), Resources::new(5.0, 5.0)];
+        let idle = crate::capacity::CapacityIndex::from_free(&[
+            Resources::new(5.0, 5.0),
+            Resources::new(5.0, 5.0),
+        ]);
         let view = ClusterView::new(2, &c, &idle, &jobs_map);
         assert!(!g.update_throttle(&view), "below low releases");
     }

@@ -11,6 +11,9 @@
 //!   cluster and Google-like fleets);
 //! * [`execution`] — straggler models and *paired* duration sampling
 //!   (identical task durations across schedulers for fair comparisons);
+//! * [`capacity`] — the hierarchical free-capacity index (segment tree
+//!   over per-server free resources) the engine maintains incrementally
+//!   and every scheduler queries in O(log n);
 //! * [`state`] — runtime job/phase/task/copy state;
 //! * [`view`] — the read-only snapshot schedulers decide on;
 //! * [`scheduler`] — the [`scheduler::Scheduler`] trait every policy
@@ -50,6 +53,7 @@
 // with a justification comment.
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod capacity;
 pub mod engine;
 pub mod error;
 pub mod execution;
@@ -63,6 +67,7 @@ pub mod view;
 
 /// Commonly used simulator types.
 pub mod prelude {
+    pub use crate::capacity::{CapacityIndex, CapacityOverlay, LinearQueriesGuard};
     pub use crate::engine::{
         simulate, simulate_with_faults, try_simulate, try_simulate_with_faults, EngineConfig,
     };

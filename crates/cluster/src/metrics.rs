@@ -113,6 +113,13 @@ pub struct JobMetrics {
 /// that point: the `Scheduler::schedule` call **plus** any on-arrival
 /// priority refresh (`on_job_arrival`) that preceded it in the same
 /// slot. Measured inside [`crate::engine::simulate`].
+///
+/// Percentiles use the **nearest-rank** convention: `pq` is the smallest
+/// sample whose rank `r` (1-based, ascending) satisfies `r ≥ ⌈q·n⌉` —
+/// i.e. an actual observed sample, never an interpolated value. For
+/// `n = 1` every percentile equals that single sample; `p99` of exactly
+/// 100 samples is the 99th-smallest (the second-largest), and of 101
+/// samples the 100th-smallest.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SchedOverhead {
     /// Number of decision points (= samples).
@@ -121,10 +128,24 @@ pub struct SchedOverhead {
     pub total_ns: u64,
     /// Mean sample, in nanoseconds (0 for empty runs).
     pub mean_ns: u64,
+    /// Median sample (nearest-rank), in nanoseconds. Defaults to 0 when
+    /// deserializing artifacts written before this field existed.
+    #[serde(default)]
+    pub p50_ns: u64,
     /// 99th-percentile sample (nearest-rank), in nanoseconds.
     pub p99_ns: u64,
     /// Largest sample, in nanoseconds.
     pub max_ns: u64,
+}
+
+/// Nearest-rank `q`-percentile of an **ascending-sorted** sample set:
+/// the element at 1-based rank `⌈q·n⌉` (clamped to `[1, n]`). Panics on
+/// an empty slice — callers handle that case (see
+/// [`SchedOverhead::from_samples`]).
+fn nearest_rank(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len();
+    let rank = ((n as f64) * q).ceil() as usize;
+    sorted[rank.clamp(1, n) - 1]
 }
 
 impl SchedOverhead {
@@ -137,13 +158,12 @@ impl SchedOverhead {
         let total: u64 = samples.iter().sum();
         let mut sorted = samples.to_vec();
         sorted.sort_unstable();
-        // Nearest-rank percentile: the smallest sample ≥ 99 % of the set.
-        let p99_idx = ((n as f64) * 0.99).ceil() as usize;
         SchedOverhead {
             decision_points: n as u64,
             total_ns: total,
             mean_ns: total / n as u64,
-            p99_ns: sorted[p99_idx.clamp(1, n) - 1],
+            p50_ns: nearest_rank(&sorted, 0.50),
+            p99_ns: nearest_rank(&sorted, 0.99),
             max_ns: sorted[n - 1],
         }
     }
@@ -551,11 +571,41 @@ mod tests {
         assert_eq!(o.decision_points, 100);
         assert_eq!(o.total_ns, 5050);
         assert_eq!(o.mean_ns, 50);
+        assert_eq!(o.p50_ns, 50, "nearest-rank p50 of 1..=100");
         assert_eq!(o.p99_ns, 99, "nearest-rank p99 of 1..=100");
         assert_eq!(o.max_ns, 100);
         let one = SchedOverhead::from_samples(&[7]);
         assert_eq!(one.p99_ns, 7);
         assert_eq!(one.mean_ns, 7);
+    }
+
+    #[test]
+    fn sched_overhead_percentiles_at_rank_boundaries() {
+        // Nearest-rank percentiles around the ⌈q·n⌉ boundaries, over
+        // 1..=n so the expected value *is* the rank.
+        for (n, p50, p99) in [
+            (1u64, 1u64, 1u64), // single sample: every percentile is it
+            (2, 1, 2),          // ⌈0.5·2⌉ = 1, ⌈0.99·2⌉ = 2
+            (99, 50, 99),       // ⌈0.99·99⌉ = 99 (= max)
+            (100, 50, 99),      // ⌈0.99·100⌉ = 99 (second-largest)
+            (101, 51, 100),     // ⌈0.99·101⌉ = 100
+        ] {
+            // Feed samples in descending order to prove sorting happens.
+            let samples: Vec<u64> = (1..=n).rev().collect();
+            let o = SchedOverhead::from_samples(&samples);
+            assert_eq!(o.p50_ns, p50, "p50 of 1..={n}");
+            assert_eq!(o.p99_ns, p99, "p99 of 1..={n}");
+            assert_eq!(o.max_ns, n, "max of 1..={n}");
+        }
+    }
+
+    #[test]
+    fn sched_overhead_p50_defaults_on_old_artifacts() {
+        // Artifacts serialized before `p50_ns` existed must still load.
+        let old = r#"{"decision_points":3,"total_ns":30,"mean_ns":10,"p99_ns":15,"max_ns":15}"#;
+        let o: SchedOverhead = serde_json::from_str(old).unwrap();
+        assert_eq!(o.p50_ns, 0);
+        assert_eq!(o.p99_ns, 15);
     }
 
     #[test]

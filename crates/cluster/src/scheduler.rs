@@ -123,18 +123,22 @@ impl Scheduler for FifoFirstFit {
     }
 
     fn schedule(&mut self, view: &ClusterView<'_>) -> Vec<Assignment> {
-        let mut free: Vec<_> = view.servers().map(|(_, _, f)| f).collect();
+        // Tentative commitments go on a capacity overlay (O(1) to start);
+        // first_fit is the index's O(log n) leftmost-fitting-server query,
+        // which visits exactly the servers a linear scan would accept.
+        let free = view.capacity().begin_batch();
         let mut out = Vec::new();
         let mut jobs: Vec<_> = view.jobs().collect();
         jobs.sort_by_key(|j| (j.spec().arrival, j.id()));
         for job in jobs {
-            for task in job.ready_tasks() {
+            for task in job.iter_ready() {
                 let demand = job.spec().phase(task.phase).demand;
-                if let Some(sid) = (0..free.len()).find(|&s| demand.fits_in(free[s])) {
-                    free[sid] -= demand;
+                if let Some(server) = free.first_fit(demand) {
+                    let committed = free.try_commit(server, demand);
+                    debug_assert!(committed, "first_fit returned a non-fitting server");
                     out.push(Assignment {
                         task,
-                        server: ServerId(sid as u32),
+                        server,
                         kind: CopyKind::Primary,
                     });
                 }

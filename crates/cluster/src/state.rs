@@ -193,42 +193,51 @@ impl JobState {
     }
 
     /// All tasks currently in [`TaskStatus::Ready`], in (phase, task)
+    /// order — the schedulable frontier. Allocation-free variant of
+    /// [`JobState::ready_tasks`] for hot scheduler loops.
+    pub fn iter_ready(&self) -> impl Iterator<Item = TaskRef> + '_ {
+        let id = self.spec.id;
+        self.tasks.iter().enumerate().flat_map(move |(pi, tasks)| {
+            let runnable = self.phases[pi].runnable;
+            tasks
+                .iter()
+                .enumerate()
+                .filter(move |(_, t)| runnable && t.status == TaskStatus::Ready)
+                .map(move |(ti, _)| TaskRef {
+                    job: id,
+                    phase: PhaseId(pi as u32),
+                    task: TaskId(ti as u32),
+                })
+        })
+    }
+
+    /// All tasks currently in [`TaskStatus::Ready`], in (phase, task)
     /// order — the schedulable frontier.
     pub fn ready_tasks(&self) -> Vec<TaskRef> {
-        let mut out = Vec::new();
-        for (pi, tasks) in self.tasks.iter().enumerate() {
-            if !self.phases[pi].runnable {
-                continue;
-            }
-            for (ti, t) in tasks.iter().enumerate() {
-                if t.status == TaskStatus::Ready {
-                    out.push(TaskRef {
-                        job: self.spec.id,
-                        phase: PhaseId(pi as u32),
-                        task: TaskId(ti as u32),
-                    });
-                }
-            }
-        }
-        out
+        self.iter_ready().collect()
+    }
+
+    /// All tasks currently running, in (phase, task) order.
+    /// Allocation-free variant of [`JobState::running_tasks`].
+    pub fn iter_running(&self) -> impl Iterator<Item = TaskRef> + '_ {
+        let id = self.spec.id;
+        self.tasks.iter().enumerate().flat_map(move |(pi, tasks)| {
+            tasks
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.status == TaskStatus::Running)
+                .map(move |(ti, _)| TaskRef {
+                    job: id,
+                    phase: PhaseId(pi as u32),
+                    task: TaskId(ti as u32),
+                })
+        })
     }
 
     /// All tasks currently running (clone candidates), in (phase, task)
     /// order.
     pub fn running_tasks(&self) -> Vec<TaskRef> {
-        let mut out = Vec::new();
-        for (pi, tasks) in self.tasks.iter().enumerate() {
-            for (ti, t) in tasks.iter().enumerate() {
-                if t.status == TaskStatus::Running {
-                    out.push(TaskRef {
-                        job: self.spec.id,
-                        phase: PhaseId(pi as u32),
-                        task: TaskId(ti as u32),
-                    });
-                }
-            }
-        }
-        out
+        self.iter_running().collect()
     }
 
     /// Unfinished task count per phase (`n_j^k(t)` of Eq. 16).
@@ -241,10 +250,18 @@ impl JobState {
         self.phases.iter().map(|p| p.remaining == 0).collect()
     }
 
-    /// Remaining effective volume `v_j(t)` (Eq. 16).
+    /// Remaining effective volume `v_j(t)` (Eq. 16). Computed directly
+    /// from the per-phase remaining counts (same term order as
+    /// `JobSpec::remaining_volume`, without materializing the counts).
     pub fn remaining_volume(&self, totals: Resources, sigma_weight: f64) -> f64 {
         self.spec
-            .remaining_volume(&self.remaining_tasks(), totals, sigma_weight)
+            .phases()
+            .iter()
+            .zip(self.phases.iter())
+            .map(|(p, st)| {
+                st.remaining as f64 * p.effective_time(sigma_weight) * p.dominant_share(totals)
+            })
+            .sum()
     }
 
     /// Remaining effective processing time `e_j(t)` (Eq. 17).

@@ -5,7 +5,15 @@
 //! clock. Schedulers never see a copy's *future* finish time — only its
 //! start and elapsed time — so speculation policies must infer progress
 //! the way a real cluster manager would.
+//!
+//! Free capacity is not a snapshot `Vec` — the view borrows the engine's
+//! incrementally-maintained [`CapacityIndex`] and always reads its *base*
+//! values. Schedulers that need to tentatively commit resources while
+//! building a batch call [`ClusterView::capacity`] and layer a
+//! [`crate::capacity::CapacityOverlay`] on top (O(1) to start, no
+//! per-decision-point clone of the cluster).
 
+use crate::capacity::CapacityIndex;
 use crate::spec::{ClusterSpec, ServerId, ServerSpec};
 use crate::state::JobState;
 use dollymp_core::job::JobId;
@@ -18,28 +26,29 @@ pub struct ClusterView<'a> {
     /// Current slot.
     pub now: Time,
     pub(crate) spec: &'a ClusterSpec,
-    pub(crate) free: &'a [Resources],
+    pub(crate) cap: &'a CapacityIndex,
     pub(crate) jobs: &'a BTreeMap<JobId, JobState>,
 }
 
 impl<'a> ClusterView<'a> {
     /// Assemble a view from its parts. The engine builds views
     /// internally; this constructor exists for benchmarks and control-
-    /// plane tests that drive a [`crate::scheduler::Scheduler`] directly.
+    /// plane tests that drive a [`crate::scheduler::Scheduler`] directly
+    /// (build the index once with [`CapacityIndex::from_free`]).
     ///
     /// # Panics
-    /// Panics when `free` does not have one entry per server.
+    /// Panics when `cap` does not have one entry per server.
     pub fn new(
         now: Time,
         spec: &'a ClusterSpec,
-        free: &'a [Resources],
+        cap: &'a CapacityIndex,
         jobs: &'a BTreeMap<JobId, JobState>,
     ) -> Self {
-        assert_eq!(free.len(), spec.len(), "one free entry per server");
+        assert_eq!(cap.len(), spec.len(), "one free entry per server");
         ClusterView {
             now,
             spec,
-            free,
+            cap,
             jobs,
         }
     }
@@ -49,6 +58,12 @@ impl<'a> ClusterView<'a> {
         self.spec
     }
 
+    /// The free-capacity index backing this view. Read-only here; call
+    /// [`CapacityIndex::begin_batch`] to stack tentative commitments.
+    pub fn capacity(&self) -> &'a CapacityIndex {
+        self.cap
+    }
+
     /// Total cluster capacity `(Σ C_i, Σ M_i)`.
     pub fn totals(&self) -> Resources {
         self.spec.totals()
@@ -56,19 +71,20 @@ impl<'a> ClusterView<'a> {
 
     /// Free resources on one server right now.
     pub fn free(&self, server: ServerId) -> Resources {
-        self.free[server.0 as usize]
+        self.cap.free(server)
     }
 
-    /// Total free resources across the cluster.
+    /// Total free resources across the cluster (O(1) — the index keeps a
+    /// running sum).
     pub fn total_free(&self) -> Resources {
-        self.free.iter().copied().sum()
+        self.cap.total_free()
     }
 
     /// Iterate `(ServerId, &ServerSpec, free)` over all servers.
     pub fn servers(&self) -> impl Iterator<Item = (ServerId, &'a ServerSpec, Resources)> + '_ {
         self.spec
             .iter()
-            .map(move |(id, s)| (id, s, self.free[id.0 as usize]))
+            .map(move |(id, s)| (id, s, self.cap.free(id)))
     }
 
     /// Active (arrived, unfinished) jobs in ascending [`JobId`] order.

@@ -29,6 +29,8 @@
 //!   flow₁/flow₂/flow₃ case study) and clone-count selection.
 //! * [`stats`] — streaming mean/standard-deviation estimation used by the
 //!   Application-Master statistics estimator of §5.2.
+//! * [`hash`] — a deterministic FxHash-style hasher for scheduler-internal
+//!   maps (hot-path replacement for SipHash).
 //! * [`packing`] — the 2D strip-packing (NFDH) reference behind
 //!   Theorem 1's level argument, with validated bounds.
 //! * [`theory`] — competitive-ratio machinery: Theorem 1 / Corollary 4.1
@@ -70,6 +72,7 @@
 #![warn(clippy::all)]
 
 pub mod cloning;
+pub mod hash;
 pub mod job;
 pub mod knapsack;
 pub mod online;
@@ -84,6 +87,7 @@ pub mod transient;
 /// Convenient glob-import of the most commonly used types.
 pub mod prelude {
     pub use crate::cloning::{clone_gain, flow1, flow2, flow3, CloningRegime};
+    pub use crate::hash::{FxBuildHasher, FxHashMap, FxHashSet};
     pub use crate::job::{
         DagError, JobId, JobSpec, JobSpecBuilder, PhaseId, PhaseSpec, TaskId, TaskRef,
     };

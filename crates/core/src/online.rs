@@ -13,11 +13,11 @@
 //! * [`ClonePolicy`] — the cloning budget of §5 (≤ 2 extra copies) plus
 //!   the §4.1 *small-job gate* parameterized by `δ`.
 
+use crate::hash::FxHashMap;
 use crate::job::JobId;
 use crate::resources::Resources;
 use crate::transient::{TransientJob, TransientOutput, PRIORITY_UNSELECTED};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Snapshot of the latest Algorithm 1 output, keyed by job.
 ///
@@ -25,7 +25,7 @@ use std::collections::HashMap;
 /// jobs in the cluster won't be updated until the next job arrival"*.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct PriorityTable {
-    entries: HashMap<JobId, PriorityEntry>,
+    entries: FxHashMap<JobId, PriorityEntry>,
 }
 
 /// One job's priority data.
@@ -103,6 +103,40 @@ impl PriorityTable {
             }
         }
         groups
+    }
+
+    /// Flattened [`PriorityTable::grouped`]: the same ascending-level
+    /// grouping, written into caller-owned buffers — `members` is the
+    /// arena of job ids, `levels` holds one `(start, end)` range per
+    /// priority level. Reuses the buffers' capacity, so a scheduler that
+    /// regroups at every decision point allocates nothing at steady
+    /// state. `tagged` is sort scratch.
+    pub fn grouped_into(
+        &self,
+        jobs: impl Iterator<Item = JobId>,
+        tagged: &mut Vec<(u32, JobId)>,
+        levels: &mut Vec<(u32, u32)>,
+        members: &mut Vec<JobId>,
+    ) {
+        tagged.clear();
+        levels.clear();
+        members.clear();
+        tagged.extend(jobs.map(|j| (self.level(j), j)));
+        // (level, id) pairs are unique (ids are), so the unstable sort is
+        // deterministic and agrees with `grouped`'s stable sort.
+        tagged.sort_unstable();
+        let mut prev: Option<u32> = None;
+        for &(level, id) in tagged.iter() {
+            if prev != Some(level) {
+                let start = members.len() as u32;
+                levels.push((start, start));
+                prev = Some(level);
+            }
+            members.push(id);
+            if let Some(last) = levels.last_mut() {
+                last.1 = members.len() as u32;
+            }
+        }
     }
 }
 
@@ -292,6 +326,38 @@ mod tests {
     fn with_clones_sets_budget() {
         assert_eq!(ClonePolicy::with_clones(2).max_copies, 3);
         assert_eq!(ClonePolicy::with_clones(0).max_copies, 1);
+    }
+
+    #[test]
+    fn grouped_into_matches_grouped() {
+        let jobs: Vec<TransientJob> = (0..7)
+            .map(|i| TransientJob {
+                id: JobId(i),
+                volume: 1.0 + i as f64,
+                etime: 1.0,
+                dominant: 0.1,
+                speedup: crate::speedup::SpeedupFn::Pareto { alpha: 2.0 },
+            })
+            .collect();
+        let out = crate::transient::transient_schedule(
+            &jobs,
+            &crate::transient::TransientConfig::default(),
+        );
+        let table = PriorityTable::from_output(&jobs, &out);
+        // Include a job unknown to the table: it must sort last both ways.
+        let ids = || (0..7).map(JobId).chain(std::iter::once(JobId(99)));
+        let reference = table.grouped(ids());
+        let (mut tagged, mut levels, mut members) = (Vec::new(), Vec::new(), Vec::new());
+        // Run twice to prove buffer reuse leaves no stale state behind.
+        for _ in 0..2 {
+            table.grouped_into(ids(), &mut tagged, &mut levels, &mut members);
+            let flat: Vec<Vec<JobId>> = levels
+                .iter()
+                .map(|&(s, e)| members[s as usize..e as usize].to_vec())
+                .collect();
+            let expect: Vec<Vec<JobId>> = reference.iter().map(|(_, v)| v.clone()).collect();
+            assert_eq!(flat, expect);
+        }
     }
 
     #[test]

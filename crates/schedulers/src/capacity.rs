@@ -364,7 +364,7 @@ mod tests {
                 .collect();
             jobs.insert(spec.id, JobState::new(spec, tables));
         }
-        let free: Vec<Resources> = cluster.servers().iter().map(|s| s.capacity).collect();
+        let free = dollymp_cluster::capacity::CapacityIndex::from_capacities(&cluster);
         let view = ClusterView::new(5, &cluster, &free, &jobs);
 
         let tref = |job: u64, task: u32| TaskRef {

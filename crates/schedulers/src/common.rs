@@ -1,122 +1,96 @@
 //! Shared placement machinery used by every scheduler implementation.
 //!
 //! Schedulers receive an immutable [`ClusterView`] and must return a
-//! self-consistent batch of assignments; [`FreeTracker`] mirrors the
-//! cluster's free resources and the per-task copy counts while the batch
-//! is being built, so a scheduler can never over-commit.
+//! self-consistent batch of assignments; [`FreeTracker`] layers the
+//! batch's tentative commitments (and per-task copy counts) over the
+//! engine's shared capacity index, so a scheduler can never over-commit —
+//! without cloning the per-server free vector each pass.
 
+use dollymp_cluster::capacity::CapacityOverlay;
 use dollymp_cluster::prelude::*;
+use dollymp_core::hash::FxHashMap;
 use dollymp_core::job::TaskRef;
-use dollymp_core::online::best_fit_score;
 use dollymp_core::resources::Resources;
-use std::cell::Cell;
-use std::collections::HashMap;
 
 /// Tracks tentative resource commitments while one scheduling batch is
 /// being constructed.
-pub struct FreeTracker {
-    free: Vec<Resources>,
-    /// Component-wise max over `free` — the O(1) "could anything fit?"
-    /// summary. `None` after a commit shrank the previous max holder;
-    /// recomputed lazily on the next query.
-    max_free: Cell<Option<Resources>>,
+///
+/// Since the capacity-index rework this is a thin wrapper over a
+/// [`CapacityOverlay`] borrowed from the view's shared
+/// [`dollymp_cluster::capacity::CapacityIndex`]: constructing a tracker is
+/// O(1) — no clone of the per-server free vector — and the first-fit /
+/// best-fit / max-free queries run on the segment tree in O(log n) with
+/// results identical to the historical linear scans.
+pub struct FreeTracker<'a> {
+    ovl: CapacityOverlay<'a>,
     /// Extra copies committed in this batch, per task.
-    pending_copies: HashMap<TaskRef, u32>,
+    pending_copies: FxHashMap<TaskRef, u32>,
 }
 
-impl FreeTracker {
-    /// Snapshot the view's free resources.
-    pub fn new(view: &ClusterView<'_>) -> Self {
-        let free: Vec<Resources> = view.servers().map(|(_, _, f)| f).collect();
-        let max = free
-            .iter()
-            .copied()
-            .fold(Resources::new(0.0, 0.0), Resources::max);
+impl<'a> FreeTracker<'a> {
+    /// Start tracking a batch over the view's free resources (O(1)).
+    pub fn new(view: &ClusterView<'a>) -> FreeTracker<'a> {
         FreeTracker {
-            free,
-            max_free: Cell::new(Some(max)),
-            pending_copies: HashMap::new(),
+            ovl: view.capacity().begin_batch(),
+            pending_copies: FxHashMap::default(),
         }
     }
 
     /// Remaining free resources on a server, net of this batch.
     pub fn free(&self, s: ServerId) -> Resources {
-        self.free[s.0 as usize]
+        self.ovl.free(s)
     }
 
     /// Per-dimension max of free resources over all servers, net of this
-    /// batch.
+    /// batch (O(1) — the tree root).
     pub fn max_free(&self) -> Resources {
-        match self.max_free.get() {
-            Some(m) => m,
-            None => {
-                let m = self
-                    .free
-                    .iter()
-                    .copied()
-                    .fold(Resources::new(0.0, 0.0), Resources::max);
-                self.max_free.set(Some(m));
-                m
-            }
-        }
+        self.ovl.max_free()
     }
 
     /// O(1) pre-check: if `demand` does not fit the per-dimension max of
     /// free capacity, it fits **no** server and the full scan can be
     /// skipped. (The converse does not hold — the max mixes dimensions
-    /// from different servers — so a `true` still requires a real scan.)
+    /// from different servers — so a `true` still requires a real query.)
     pub fn could_fit(&self, demand: Resources) -> bool {
-        demand.fits_in(self.max_free())
+        self.ovl.could_fit(demand)
     }
 
     /// Total remaining free resources, net of this batch.
     pub fn total_free(&self) -> Resources {
-        self.free.iter().copied().sum()
+        self.ovl.total_free()
     }
 
     /// Number of servers.
     pub fn len(&self) -> usize {
-        self.free.len()
+        self.ovl.len()
     }
 
     /// True when there are no servers (never, in practice).
     pub fn is_empty(&self) -> bool {
-        self.free.is_empty()
+        self.ovl.is_empty()
     }
 
     /// Does `demand` fit some server right now?
     pub fn fits_anywhere(&self, demand: Resources) -> bool {
-        self.could_fit(demand) && self.free.iter().any(|f| demand.fits_in(*f))
+        self.ovl.fits_anywhere(demand)
     }
 
     /// First server (by id) with room for `demand`.
     pub fn first_fit(&self, demand: Resources) -> Option<ServerId> {
-        if !self.could_fit(demand) {
-            return None;
-        }
-        self.free
-            .iter()
-            .position(|f| demand.fits_in(*f))
-            .map(|i| ServerId(i as u32))
+        self.ovl.first_fit(demand)
+    }
+
+    /// First server with id ≥ `start` that has room for `demand` — lets a
+    /// left-to-right placement walk skip non-fitting servers in O(log n)
+    /// instead of probing each one.
+    pub fn next_fit_at_or_after(&self, start: usize, demand: Resources) -> Option<ServerId> {
+        self.ovl.next_fit_at_or_after(start, demand)
     }
 
     /// Server maximizing the Tetris alignment score `demand · free`
     /// among those with room.
     pub fn best_fit(&self, demand: Resources) -> Option<ServerId> {
-        if !self.could_fit(demand) {
-            return None;
-        }
-        let mut best: Option<(f64, usize)> = None;
-        for (i, f) in self.free.iter().enumerate() {
-            if !demand.fits_in(*f) {
-                continue;
-            }
-            let score = best_fit_score(demand, *f);
-            if best.map(|(b, _)| score > b).unwrap_or(true) {
-                best = Some((score, i));
-            }
-        }
-        best.map(|(_, i)| ServerId(i as u32))
+        self.ovl.best_fit(demand)
     }
 
     /// Commit `demand` on `server`.
@@ -124,18 +98,10 @@ impl FreeTracker {
     /// # Panics
     /// Panics if it does not fit — callers must check first.
     pub fn commit(&mut self, server: ServerId, demand: Resources) {
-        let f = &mut self.free[server.0 as usize];
-        let before = *f;
-        *f = f
-            .checked_sub(demand)
-            .expect("FreeTracker::commit without a fit check");
-        // Only a commit on a server that held a per-dimension max can
-        // lower the max summary.
-        if let Some(m) = self.max_free.get() {
-            if before.cpu() >= m.cpu() || before.mem() >= m.mem() {
-                self.max_free.set(None);
-            }
-        }
+        assert!(
+            self.ovl.try_commit(server, demand),
+            "FreeTracker::commit without a fit check"
+        );
     }
 
     /// Return `amount` of capacity to `server` — the inverse of
@@ -143,16 +109,14 @@ impl FreeTracker {
     /// *growing* capacity (a crashed server restored by fault recovery;
     /// see `Scheduler::on_server_up`).
     ///
-    /// The cached max summary was historically shrink-only (a commit can
-    /// only lower it), so growth must raise it explicitly: a stale max
+    /// The historical cached max summary was shrink-only (a commit can
+    /// only lower it), so growth had to raise it explicitly: a stale max
     /// would make [`FreeTracker::could_fit`] reject demands the recovered
-    /// server can in fact hold, silently idling restored capacity.
+    /// server can in fact hold, silently idling restored capacity. The
+    /// overlay's tree maintains the max on every write, which preserves
+    /// that fix (pinned by `release_raises_the_cached_max` below).
     pub fn release(&mut self, server: ServerId, amount: Resources) {
-        let f = &mut self.free[server.0 as usize];
-        *f += amount;
-        if let Some(m) = self.max_free.get() {
-            self.max_free.set(Some(m.max(*f)));
-        }
+        self.ovl.release(server, amount);
     }
 
     /// Copies of `task` live in the view **plus** committed in this batch.
@@ -208,12 +172,13 @@ pub fn place_in_job_order(
     let mut out = Vec::new();
     for &jid in order {
         let Some(job) = view.job(jid) else { continue };
-        for rt in ready_tasks_of(job) {
-            if let Some(server) = free.first_fit(rt.demand) {
-                free.commit(server, rt.demand);
-                free.note_copy(rt.task);
+        for task in job.iter_ready() {
+            let demand = job.spec().phase(task.phase).demand;
+            if let Some(server) = free.first_fit(demand) {
+                free.commit(server, demand);
+                free.note_copy(task);
                 out.push(Assignment {
-                    task: rt.task,
+                    task,
                     server,
                     kind: CopyKind::Primary,
                 });
@@ -304,11 +269,11 @@ mod tests {
             ServerSpec::new(1.0, 1.0),
             ServerSpec::new(8.0, 8.0), // currently down: free = 0
         ]);
-        let free = vec![
+        let free = CapacityIndex::from_free(&[
             Resources::new(4.0, 4.0),
             Resources::new(1.0, 1.0),
             Resources::new(0.0, 0.0),
-        ];
+        ]);
         let jobs = BTreeMap::new();
         let view = ClusterView::new(0, &spec, &free, &jobs);
         let mut tracker = FreeTracker::new(&view);

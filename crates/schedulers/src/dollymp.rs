@@ -18,24 +18,140 @@
 //!    `max_copies − 1` extra copies; the pass is repeated twice, mirroring
 //!    Algorithm 2's "Repeat Step 9 twice".
 
-use crate::common::{ready_tasks_of, FreeTracker, ReadyTask};
+use crate::common::{FreeTracker, ReadyTask};
 use dollymp_cluster::prelude::*;
-use dollymp_core::job::{JobId, TaskRef};
+use dollymp_core::hash::FxHashMap;
+use dollymp_core::job::{JobId, PhaseId, TaskId, TaskRef};
 use dollymp_core::online::{best_fit_score, ClonePolicy, PriorityTable};
 use dollymp_core::resources::Resources;
 use dollymp_core::transient::{
     transient_schedule, SummaryCache, SummaryInput, TransientConfig, TransientJob,
 };
-use std::collections::{HashMap, HashSet};
 
 /// A cloning candidate: a task of a §4.1-eligible job, with its demand
-/// and view-side copy count cached so the per-pass budget filter does
-/// not have to re-resolve the job.
+/// and *effective* copy count (view-side live copies plus the primary
+/// placed for it earlier in this batch, if any) cached so the per-pass
+/// budget filter needs no map lookups at all.
 #[derive(Debug, Clone, Copy)]
 struct CloneCandidate {
     task: TaskRef,
     demand: Resources,
-    live_copies: u32,
+    effective_copies: u32,
+}
+
+/// Placeholder for arena `resize` calls; always overwritten before read.
+const EMPTY_READY: ReadyTask = ReadyTask {
+    task: TaskRef {
+        job: JobId(0),
+        phase: PhaseId(0),
+        task: TaskId(0),
+    },
+    demand: Resources::ZERO,
+};
+
+/// One (job, distinct-demand) bucket of ready tasks: `len` tasks stored
+/// contiguously in the scratch task arena from `start`, consumed LIFO
+/// (mirroring the historical `Vec::pop`).
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    demand: Resources,
+    start: u32,
+    len: u32,
+}
+
+/// A FIFO of placement requests sharing one demand vector; entries live
+/// in a scratch entry arena at `[head, end)` and are consumed by
+/// advancing `head`.
+#[derive(Debug, Clone, Copy)]
+struct DemandQueue {
+    demand: Resources,
+    head: u32,
+    end: u32,
+}
+
+/// Iterates the servers of one placement walk: either a caller-supplied
+/// explicit order (every listed server is visited), or the identity
+/// order driven by the capacity index, whose `next_fit_at_or_after`
+/// skips servers that cannot even hold `min_demand` in O(log n) per hop.
+/// The two modes visit exactly the same fitting servers in the same
+/// order, since a server without room for the smallest demand can never
+/// receive a placement.
+enum ServerWalk<'o> {
+    Identity { cursor: usize },
+    Custom { order: &'o [ServerId], next: usize },
+}
+
+impl<'o> ServerWalk<'o> {
+    fn new(order: Option<&'o [ServerId]>) -> Self {
+        match order {
+            None => ServerWalk::Identity { cursor: 0 },
+            Some(order) => ServerWalk::Custom { order, next: 0 },
+        }
+    }
+
+    fn next(&mut self, free: &FreeTracker, min_demand: Resources) -> Option<ServerId> {
+        match self {
+            ServerWalk::Identity { cursor } => {
+                let sv = free.next_fit_at_or_after(*cursor, min_demand)?;
+                *cursor = sv.0 as usize + 1;
+                Some(sv)
+            }
+            ServerWalk::Custom { order, next } => {
+                let sv = *order.get(*next)?;
+                *next += 1;
+                Some(sv)
+            }
+        }
+    }
+}
+
+/// Reusable buffers for one decision point. Everything here is cleared
+/// and refilled each pass, so at steady state a full Algorithm 2 pass
+/// performs no heap allocation beyond the returned batch itself.
+#[derive(Debug, Clone, Default)]
+struct Scratch {
+    /// Sort scratch for `PriorityTable::grouped_into`.
+    tagged: Vec<(u32, JobId)>,
+    /// Per priority level: `(start, end)` range into `members`.
+    levels: Vec<(u32, u32)>,
+    /// Flattened members of all levels, in ascending (level, id) order.
+    members: Vec<JobId>,
+    /// Ready-task arena, contiguous per bucket.
+    tasks: Vec<ReadyTask>,
+    /// One entry per (job, distinct-demand), contiguous per job.
+    buckets: Vec<Bucket>,
+    /// Bucket range of each job with ready tasks.
+    job_buckets: FxHashMap<JobId, (u32, u32)>,
+    /// Demand queues of all levels, contiguous per level.
+    queues: Vec<DemandQueue>,
+    /// Per priority level: `(start, end)` range into `queues`.
+    level_queues: Vec<(u32, u32)>,
+    /// Per priority level: ready tasks not yet placed (drives the
+    /// skip-empty-prefix cursor of the placement loop).
+    level_remaining: Vec<u32>,
+    /// Entry arena for `queues`: `(group position, bucket index)`.
+    entries: Vec<(u32, u32)>,
+    /// Remaining volume per job (Eq. 16), aligned with ascending-id view
+    /// order, for the §4.1 gate.
+    vols: Vec<f64>,
+    /// Candidate arena in ascending-id view order; reshuffled into
+    /// priority order via `cand_ranges`.
+    cand_arena: Vec<CloneCandidate>,
+    /// Per gated-in job: `(start, end)` range into `cand_arena`.
+    cand_ranges: FxHashMap<JobId, (u32, u32)>,
+    /// Per job: `(fill, start)` range of its newly placed primaries in
+    /// `placed_arena` (`[start, fill)` once scattered).
+    placed_ranges: FxHashMap<JobId, (u32, u32)>,
+    /// Primaries of this batch, grouped contiguously per job.
+    placed_arena: Vec<TaskRef>,
+    /// Clone candidates of this decision point, in priority order.
+    candidates: Vec<CloneCandidate>,
+    /// `cloned[i]`: candidate `i` received a clone in this batch.
+    cloned: Vec<bool>,
+    /// Demand queues of the current clone pass.
+    clone_queues: Vec<DemandQueue>,
+    /// Entry arena for `clone_queues`: candidate indices.
+    clone_entries: Vec<u32>,
 }
 
 /// The DollyMP scheduler (Algorithm 2). `DollyMP::with_clones(r)` builds
@@ -55,7 +171,9 @@ pub struct DollyMP {
     /// changing the remaining-task counts, so the summary-cache
     /// fingerprint alone cannot see it; the epoch keeps the cache honest
     /// (see `SummaryInput::loss_epoch`).
-    loss_epochs: HashMap<JobId, u64>,
+    loss_epochs: FxHashMap<JobId, u64>,
+    /// Reusable per-decision-point buffers (see [`Scratch`]).
+    scratch: Scratch,
 }
 
 impl DollyMP {
@@ -81,7 +199,8 @@ impl DollyMP {
             table: PriorityTable::default(),
             cache: SummaryCache::new(),
             use_summary_cache: true,
-            loss_epochs: HashMap::new(),
+            loss_epochs: FxHashMap::default(),
+            scratch: Scratch::default(),
         }
     }
 
@@ -139,117 +258,183 @@ impl DollyMP {
         self.table = PriorityTable::from_output(&summaries, &out);
     }
 
-    /// Jobs grouped by ascending priority level.
-    fn priority_groups(&self, view: &ClusterView<'_>) -> Vec<(u32, Vec<JobId>)> {
-        self.table.grouped(view.jobs().map(|j| j.id()))
-    }
-
     /// The primary placement pass (Algorithm 2 steps 6–15).
     ///
     /// Tasks of one phase are statistically identical, so candidates are
-    /// *bucketed* by (job, phase): the per-server best-fit argmax scans
+    /// *bucketed* by (job, demand): the per-server best-fit argmax scans
     /// one entry per distinct demand instead of one per task, which is
     /// what keeps a full pass over 30 000 servers within the paper's
-    /// §6.3.3 overhead budget.
+    /// §6.3.3 overhead budget. All intermediate structures are flattened
+    /// arenas living in [`Scratch`] (tasks, buckets, per-level demand
+    /// queues), so the pass allocates nothing at steady state:
+    ///
+    /// * a bucket is a contiguous `[start, start+len)` slice of the task
+    ///   arena, consumed LIFO like the historical per-bucket `Vec::pop`;
+    /// * a level's demand queues collapse its buckets by distinct demand
+    ///   — buckets sharing a demand have the same Tetris score against
+    ///   any server, and the scan's strict `score > best` keeps the first
+    ///   seen, so the argmax only needs the frontmost alive bucket per
+    ///   demand, with exact-score ties across demands breaking toward the
+    ///   smaller group position (first-seen-wins, verbatim);
+    /// * fully drained levels are skipped by a monotone cursor — a level
+    ///   with no tasks left can never match again.
+    ///
+    /// When `order` is `None` (the identity walk of plain `schedule`),
+    /// the next server is found with the capacity index's
+    /// `next_fit_at_or_after`, which hops over non-fitting servers in
+    /// O(log n) instead of probing each id.
     fn place_primaries(
         &self,
         view: &ClusterView<'_>,
-        groups: &[(u32, Vec<JobId>)],
-        server_order: &[ServerId],
+        order: Option<&[ServerId]>,
         free: &mut FreeTracker,
-    ) -> Vec<Assignment> {
-        let mut out = Vec::new();
-        // Flat bucket store (one bucket per (job, demand)), indexed per
-        // priority group, so the hot argmax loop below is pure array
-        // traversal with no hashing.
-        let mut flat: Vec<(Resources, Vec<ReadyTask>)> = Vec::new();
-        let mut job_buckets: HashMap<JobId, (usize, usize)> = HashMap::new();
+        s: &mut Scratch,
+        out: &mut Vec<Assignment>,
+    ) {
+        s.tasks.clear();
+        s.buckets.clear();
+        s.job_buckets.clear();
         let mut ready_count: usize = 0;
         let mut min_demand: Option<Resources> = None;
         for j in view.jobs() {
-            let tasks = ready_tasks_of(j);
-            if tasks.is_empty() {
-                continue;
-            }
-            ready_count += tasks.len();
-            let start = flat.len();
-            for rt in tasks {
+            let bstart = s.buckets.len();
+            // Pass 1: one bucket per distinct demand, counting tasks.
+            for task in j.iter_ready() {
+                let demand = j.spec().phase(task.phase).demand;
                 min_demand = Some(match min_demand {
-                    Some(m) => m.min(rt.demand),
-                    None => rt.demand,
+                    Some(m) => m.min(demand),
+                    None => demand,
                 });
-                match flat[start..].iter_mut().find(|(d, _)| *d == rt.demand) {
-                    Some((_, v)) => v.push(rt),
-                    None => flat.push((rt.demand, vec![rt])),
+                match s.buckets[bstart..].iter_mut().find(|b| b.demand == demand) {
+                    Some(b) => b.len += 1,
+                    None => s.buckets.push(Bucket {
+                        demand,
+                        start: 0,
+                        len: 1,
+                    }),
                 }
             }
-            job_buckets.insert(j.id(), (start, flat.len()));
+            if s.buckets.len() == bstart {
+                continue;
+            }
+            let mut cursor = s.tasks.len() as u32;
+            for b in &mut s.buckets[bstart..] {
+                b.start = cursor;
+                cursor += b.len;
+                ready_count += b.len as usize;
+                b.len = 0;
+            }
+            s.tasks.resize(cursor as usize, EMPTY_READY);
+            // Pass 2: scatter tasks into their bucket slices in ready
+            // order (so LIFO consumption matches the historical pops).
+            for task in j.iter_ready() {
+                let demand = j.spec().phase(task.phase).demand;
+                let b = s.buckets[bstart..]
+                    .iter_mut()
+                    .find(|b| b.demand == demand)
+                    .expect("bucket created in pass 1");
+                s.tasks[(b.start + b.len) as usize] = ReadyTask { task, demand };
+                b.len += 1;
+            }
+            s.job_buckets
+                .insert(j.id(), (bstart as u32, s.buckets.len() as u32));
         }
         if ready_count == 0 {
-            return out;
+            return;
         }
         let min_demand = min_demand.expect("ready_count > 0");
         if !free.could_fit(min_demand) {
             // Nothing fits anywhere in the cluster — skip the server walk.
-            return out;
+            return;
         }
-        // Per priority group, buckets collapsed by *distinct demand*: all
-        // buckets sharing a demand have the same Tetris score against any
-        // server, and the scan's strict `score > best` keeps the first
-        // seen, so the argmax only needs one entry per distinct demand —
-        // its frontmost alive bucket in group order. Exact-score ties
-        // *across* demands break toward the smaller group position,
-        // reproducing the first-seen-wins bucket scan verbatim. Task
-        // demands are coarse in practice, so this turns an O(#jobs)
-        // per-placement scan into an O(#distinct demands) one.
-        struct DemandQueue {
-            demand: Resources,
-            /// (group-order position, bucket index) — FIFO in group order.
-            buckets: std::collections::VecDeque<(u32, u32)>,
-        }
-        let mut group_queues: Vec<Vec<DemandQueue>> = groups
-            .iter()
-            .map(|(_, members)| {
-                let mut qs: Vec<DemandQueue> = Vec::new();
-                let mut pos = 0u32;
-                for &jid in members {
-                    let Some(&(lo, hi)) = job_buckets.get(&jid) else {
-                        continue;
-                    };
-                    for (bidx, &(demand, _)) in flat.iter().enumerate().take(hi).skip(lo) {
-                        match qs.iter_mut().find(|q| q.demand == demand) {
-                            Some(q) => q.buckets.push_back((pos, bidx as u32)),
-                            None => qs.push(DemandQueue {
-                                demand,
-                                buckets: std::collections::VecDeque::from([(pos, bidx as u32)]),
-                            }),
-                        }
-                        pos += 1;
+
+        // Per-level demand queues, two-pass into flat arenas.
+        s.queues.clear();
+        s.level_queues.clear();
+        s.level_remaining.clear();
+        s.entries.clear();
+        for &(mstart, mend) in &s.levels {
+            let qstart = s.queues.len();
+            let estart = s.entries.len() as u32;
+            let mut level_tasks = 0u32;
+            for &jid in &s.members[mstart as usize..mend as usize] {
+                let Some(&(lo, hi)) = s.job_buckets.get(&jid) else {
+                    continue;
+                };
+                for bidx in lo..hi {
+                    let b = s.buckets[bidx as usize];
+                    level_tasks += b.len;
+                    match s.queues[qstart..].iter_mut().find(|q| q.demand == b.demand) {
+                        Some(q) => q.end += 1,
+                        None => s.queues.push(DemandQueue {
+                            demand: b.demand,
+                            head: 0,
+                            end: 1,
+                        }),
                     }
                 }
-                qs
-            })
-            .collect();
+            }
+            let mut cursor = estart;
+            for q in &mut s.queues[qstart..] {
+                let count = q.end;
+                q.head = cursor;
+                q.end = cursor;
+                cursor += count;
+            }
+            s.entries.resize(cursor as usize, (0, 0));
+            let mut pos = 0u32;
+            for &jid in &s.members[mstart as usize..mend as usize] {
+                let Some(&(lo, hi)) = s.job_buckets.get(&jid) else {
+                    continue;
+                };
+                for bidx in lo..hi {
+                    let demand = s.buckets[bidx as usize].demand;
+                    let q = s.queues[qstart..]
+                        .iter_mut()
+                        .find(|q| q.demand == demand)
+                        .expect("queue created in the counting pass");
+                    s.entries[q.end as usize] = (pos, bidx);
+                    q.end += 1;
+                    pos += 1;
+                }
+            }
+            s.level_queues.push((qstart as u32, s.queues.len() as u32));
+            s.level_remaining.push(level_tasks);
+        }
 
-        for &server in server_order {
+        out.reserve(ready_count);
+        let nlevels = s.level_queues.len();
+        let mut first_active = 0usize;
+        let mut walk = ServerWalk::new(order);
+        while let Some(server) = walk.next(free, min_demand) {
+            // The index is only queried again when moving to the next
+            // server, so the server's placements accumulate locally and
+            // commit to the tree once, on leaving it.
+            let mut avail = free.free(server);
+            let mut used = Resources::ZERO;
             'server: loop {
-                let avail = free.free(server);
                 // Component-wise lower bound: if even the smallest demand
-                // cannot fit, nothing can — skip this server instantly.
+                // cannot fit, nothing can — leave this server instantly.
                 if !min_demand.fits_in(avail) {
                     break;
                 }
+                while first_active < nlevels && s.level_remaining[first_active] == 0 {
+                    first_active += 1;
+                }
                 // Highest-priority level with a fitting task; within the
-                // level, the best-aligned demand bucket (step 12).
-                for qs in &mut group_queues {
-                    let mut best: Option<(f64, u32, usize)> = None;
-                    for (qi, q) in qs.iter().enumerate() {
-                        let Some(&(pos, _)) = q.buckets.front() else {
-                            continue;
-                        };
-                        if !q.demand.fits_in(avail) {
+                // level, the best-aligned demand queue (step 12).
+                for li in first_active..nlevels {
+                    if s.level_remaining[li] == 0 {
+                        continue;
+                    }
+                    let (qs, qe) = s.level_queues[li];
+                    let mut best: Option<(f64, u32, u32)> = None;
+                    for qi in qs..qe {
+                        let q = s.queues[qi as usize];
+                        if q.head == q.end || !q.demand.fits_in(avail) {
                             continue;
                         }
+                        let (pos, _) = s.entries[q.head as usize];
                         let score = best_fit_score(q.demand, avail);
                         let better = match best {
                             None => true,
@@ -260,31 +445,36 @@ impl DollyMP {
                         }
                     }
                     if let Some((_, _, qi)) = best {
-                        let q = &mut qs[qi];
-                        let &(_, bidx) = q.buckets.front().expect("non-empty queue");
-                        let bucket = &mut flat[bidx as usize].1;
-                        let rt = bucket.pop().expect("non-empty bucket");
-                        if bucket.is_empty() {
-                            q.buckets.pop_front();
+                        let head = s.queues[qi as usize].head;
+                        let (_, bidx) = s.entries[head as usize];
+                        let b = &mut s.buckets[bidx as usize];
+                        b.len -= 1;
+                        let rt = s.tasks[(b.start + b.len) as usize];
+                        if b.len == 0 {
+                            s.queues[qi as usize].head += 1;
                         }
-                        free.commit(server, rt.demand);
-                        free.note_copy(rt.task);
+                        avail -= rt.demand; // fits_in checked above
+                        used += rt.demand;
                         out.push(Assignment {
                             task: rt.task,
                             server,
                             kind: CopyKind::Primary,
                         });
+                        s.level_remaining[li] -= 1;
                         ready_count -= 1;
                         if ready_count == 0 {
-                            return out;
+                            free.commit(server, used);
+                            return;
                         }
                         continue 'server;
                     }
                 }
                 break;
             }
+            if used != Resources::ZERO {
+                free.commit(server, used);
+            }
         }
-        out
     }
 
     /// Clone candidates for this decision point, in priority order
@@ -298,51 +488,104 @@ impl DollyMP {
     /// batch, so this is computed **once** per decision point and shared
     /// by both clone passes; the per-pass copy-budget filters are applied
     /// at queue-build time inside [`Self::place_clones`].
-    fn clone_candidates(
-        &self,
-        view: &ClusterView<'_>,
-        groups: &[(u32, Vec<JobId>)],
-        newly_placed: &HashMap<JobId, Vec<TaskRef>>,
-    ) -> Vec<CloneCandidate> {
+    fn clone_candidates(&self, view: &ClusterView<'_>, batch: &[Assignment], s: &mut Scratch) {
+        s.candidates.clear();
+        s.cloned.clear();
         if self.clone_policy.max_copies <= 1 {
-            return Vec::new();
+            return;
+        }
+        // Group this batch's primaries by job via a counting scatter into
+        // a reused arena (each job's tasks stay in batch order). Entry
+        // layout: `(fill, start)` — the count lands in `fill` first, then
+        // the prefix pass turns it into a cursor starting at `start`, so
+        // `[start, fill)` is the final range.
+        s.placed_ranges.clear();
+        s.placed_arena.clear();
+        for a in batch {
+            s.placed_ranges.entry(a.task.job).or_insert((0, 0)).0 += 1;
+        }
+        let mut cursor = 0u32;
+        for range in s.placed_ranges.values_mut() {
+            let count = range.0;
+            *range = (cursor, cursor);
+            cursor += count;
+        }
+        s.placed_arena.resize(cursor as usize, EMPTY_READY.task);
+        for a in batch {
+            let range = s
+                .placed_ranges
+                .get_mut(&a.task.job)
+                .expect("counted in the first pass");
+            s.placed_arena[range.0 as usize] = a.task;
+            range.0 += 1;
         }
         let w = self.transient.sigma_weight;
         // Remaining volumes, computed once (the §4.1 gate needs every
         // job's volume against the sum of the others'; recomputing per
-        // candidate would make this pass quadratic).
+        // candidate would make this pass quadratic). The total is summed
+        // in ascending-JobId view order so it cannot depend on any map's
+        // iteration order.
         let totals = view.totals();
-        let volumes: HashMap<JobId, f64> = view
-            .jobs()
-            .map(|j| (j.id(), j.remaining_volume(totals, w)))
-            .collect();
-        let total_volume: f64 = volumes.values().sum();
-        let mut out: Vec<CloneCandidate> = Vec::new();
-        for (_, members) in groups {
-            for &jid in members {
-                let Some(job) = view.job(jid) else { continue };
-                // §4.1 small-job gate.
-                let mine = volumes.get(&jid).copied().unwrap_or(0.0);
-                let others = (total_volume - mine).max(0.0);
-                if !self.clone_policy.small_job_gate(mine, others) {
-                    continue;
-                }
-                let mut candidates = job.running_tasks();
-                if let Some(extra) = newly_placed.get(&jid) {
-                    candidates.extend(extra.iter().copied());
-                }
-                for task in candidates {
-                    out.push(CloneCandidate {
+        s.vols.clear();
+        let mut total_volume = 0.0f64;
+        for j in view.jobs() {
+            let v = j.remaining_volume(totals, w);
+            total_volume += v;
+            s.vols.push(v);
+        }
+        // Single pass over the view (no per-member job lookups): gate
+        // each job and emit its candidates into an id-ordered arena;
+        // the arena is then reshuffled into priority order below.
+        s.cand_arena.clear();
+        s.cand_ranges.clear();
+        for (j, &mine) in view.jobs().zip(s.vols.iter()) {
+            // §4.1 small-job gate.
+            let others = (total_volume - mine).max(0.0);
+            if !self.clone_policy.small_job_gate(mine, others) {
+                continue;
+            }
+            let start = s.cand_arena.len() as u32;
+            for task in j.iter_running() {
+                s.cand_arena.push(CloneCandidate {
+                    task,
+                    demand: j.spec().phase(task.phase).demand,
+                    // Copies live in the (immutable) view — cached so
+                    // the per-pass budget filter needs no job lookup.
+                    effective_copies: j.task(task.phase, task.task).live_copies(),
+                });
+            }
+            if let Some(&(fill, pstart)) = s.placed_ranges.get(&j.id()) {
+                for &task in &s.placed_arena[pstart as usize..fill as usize] {
+                    debug_assert_eq!(
+                        j.task(task.phase, task.task).live_copies(),
+                        0,
+                        "a task placed as primary this batch was ready, hence copy-free"
+                    );
+                    s.cand_arena.push(CloneCandidate {
                         task,
-                        demand: job.spec().phase(task.phase).demand,
-                        // Copies live in the (immutable) view — cached so
-                        // the per-pass budget filter needs no job lookup.
-                        live_copies: job.task(task.phase, task.task).live_copies(),
+                        demand: j.spec().phase(task.phase).demand,
+                        // A primary placed this very batch is one copy the
+                        // view cannot see yet.
+                        effective_copies: 1,
                     });
                 }
             }
+            if s.cand_arena.len() as u32 > start {
+                s.cand_ranges
+                    .insert(j.id(), (start, s.cand_arena.len() as u32));
+            }
         }
-        out
+        // Reshuffle into priority order (Algorithm 2 step 16 walks jobs
+        // in the frozen Algorithm 1 order).
+        for &(mstart, mend) in &s.levels {
+            for &jid in &s.members[mstart as usize..mend as usize] {
+                if let Some(&(start, end)) = s.cand_ranges.get(&jid) {
+                    s.candidates
+                        .extend_from_slice(&s.cand_arena[start as usize..end as usize]);
+                }
+            }
+        }
+        s.cloned.resize(s.candidates.len(), false);
     }
 
     /// One clone pass over leftover resources (Algorithm 2 step 16).
@@ -352,104 +595,123 @@ impl DollyMP {
     /// are applied here.
     ///
     /// The priority-ordered request queue is kept as one FIFO per
-    /// *distinct demand*. Free capacity on a server only shrinks during
-    /// its scan, so a request that does not fit when passed over never
-    /// fits later on that server — picking the earliest-position request
-    /// that fits, repeatedly, places exactly the same set as a sequential
-    /// walk of the flat queue, while costing `O(placements × #demands)`
-    /// instead of `O(queue length)` per server.
+    /// *distinct demand* over flattened arenas in [`Scratch`]. Free
+    /// capacity on a server only shrinks during its scan, so a request
+    /// that does not fit when passed over never fits later on that server
+    /// — picking the earliest-position request that fits, repeatedly,
+    /// places exactly the same set as a sequential walk of the flat
+    /// queue, while costing `O(placements × #demands)` instead of
+    /// `O(queue length)` per server. Queue entries are candidate indices;
+    /// the index is a monotone relabeling of the historical per-pass
+    /// position counter, so the earliest-fitting selection is unchanged.
+    ///
+    /// Returns the number of clones placed (appended to `out`).
     fn place_clones(
         &self,
-        candidates: &[CloneCandidate],
-        cloned_this_batch: &mut HashSet<TaskRef>,
-        server_order: &[ServerId],
+        order: Option<&[ServerId]>,
         free: &mut FreeTracker,
-    ) -> Vec<Assignment> {
-        let mut out = Vec::new();
-        struct CloneQueue {
-            demand: Resources,
-            /// (priority-order position, task) — FIFO in priority order.
-            tasks: std::collections::VecDeque<(u32, TaskRef)>,
-        }
-        let mut queues: Vec<CloneQueue> = Vec::new();
-        let mut pos = 0u32;
+        s: &mut Scratch,
+        out: &mut Vec<Assignment>,
+    ) -> usize {
+        s.clone_queues.clear();
+        s.clone_entries.clear();
         let mut remaining = 0usize;
         let mut min_demand: Option<Resources> = None;
-        for &CloneCandidate {
-            task,
-            demand,
-            live_copies,
-        } in candidates
-        {
-            // At most one new clone per task per decision point: the RM
-            // grants clone containers round by round ("repeat Step 9"
-            // spans allocation rounds, not one batch), so a task's second
-            // clone can only arrive at a later decision point.
-            if cloned_this_batch.contains(&task) {
-                continue;
-            }
-            if live_copies + free.pending_copies_of(task) >= self.clone_policy.max_copies {
+        // Per-pass filters, two-pass into the flat queue arenas. At most
+        // one new clone per task per decision point (`cloned`): the RM
+        // grants clone containers round by round ("repeat Step 9" spans
+        // allocation rounds, not one batch), so a task's second clone can
+        // only arrive at a later decision point.
+        let eligible = |s: &Scratch, i: usize, c: &CloneCandidate| {
+            !s.cloned[i] && c.effective_copies < self.clone_policy.max_copies
+        };
+        for (i, c) in s.candidates.iter().enumerate() {
+            if !eligible(s, i, c) {
                 continue;
             }
             min_demand = Some(match min_demand {
-                Some(m) => m.min(demand),
-                None => demand,
+                Some(m) => m.min(c.demand),
+                None => c.demand,
             });
-            match queues.iter_mut().find(|q| q.demand == demand) {
-                Some(q) => q.tasks.push_back((pos, task)),
-                None => queues.push(CloneQueue {
-                    demand,
-                    tasks: std::collections::VecDeque::from([(pos, task)]),
+            match s.clone_queues.iter_mut().find(|q| q.demand == c.demand) {
+                Some(q) => q.end += 1,
+                None => s.clone_queues.push(DemandQueue {
+                    demand: c.demand,
+                    head: 0,
+                    end: 1,
                 }),
             }
-            pos += 1;
             remaining += 1;
         }
         if remaining == 0 {
-            return out;
+            return 0;
+        }
+        let mut cursor = 0u32;
+        for q in &mut s.clone_queues {
+            let count = q.end;
+            q.head = cursor;
+            q.end = cursor;
+            cursor += count;
+        }
+        s.clone_entries.resize(cursor as usize, 0);
+        for i in 0..s.candidates.len() {
+            let c = s.candidates[i];
+            if !eligible(s, i, &c) {
+                continue;
+            }
+            let q = s
+                .clone_queues
+                .iter_mut()
+                .find(|q| q.demand == c.demand)
+                .expect("queue created in the counting pass");
+            s.clone_entries[q.end as usize] = i as u32;
+            q.end += 1;
         }
 
         // Server-driven placement (the RM hands leftover capacity to
         // clone requests as heartbeats come in): walk servers in order and
         // satisfy the queue in priority order. A global min-demand bound
-        // skips exhausted servers in O(1).
+        // skips exhausted servers (O(1) per probe in an explicit order,
+        // O(log n) hops in the index-driven identity walk).
         let min_demand = min_demand.expect("remaining > 0");
         if !free.could_fit(min_demand) {
             // No server in the whole cluster has room for even the
             // smallest request — skip the server walk entirely.
-            return out;
+            return 0;
         }
-        for &server in server_order {
-            if remaining == 0 {
+        let placed_before = out.len();
+        let mut walk = ServerWalk::new(order);
+        while remaining > 0 {
+            let Some(server) = walk.next(free, min_demand) else {
                 break;
-            }
-            if !min_demand.fits_in(free.free(server)) {
+            };
+            // As in the primary pass, placements on one server accumulate
+            // locally and commit to the index once, on leaving it.
+            let mut avail = free.free(server);
+            if !min_demand.fits_in(avail) {
                 continue;
             }
+            let mut used = Resources::ZERO;
             loop {
-                let avail = free.free(server);
                 // Earliest-position request that fits the current free.
                 let mut best: Option<(u32, usize)> = None;
-                for (qi, q) in queues.iter().enumerate() {
-                    let Some(&(p, _)) = q.tasks.front() else {
-                        continue;
-                    };
-                    if !q.demand.fits_in(avail) {
+                for (qi, q) in s.clone_queues.iter().enumerate() {
+                    if q.head == q.end || !q.demand.fits_in(avail) {
                         continue;
                     }
+                    let p = s.clone_entries[q.head as usize];
                     if best.map(|(bp, _)| p < bp).unwrap_or(true) {
                         best = Some((p, qi));
                     }
                 }
-                let Some((_, qi)) = best else { break };
-                let q = &mut queues[qi];
-                let (_, task) = q.tasks.pop_front().expect("non-empty queue");
-                let demand = q.demand;
-                free.commit(server, demand);
-                free.note_copy(task);
-                cloned_this_batch.insert(task);
+                let Some((ci, qi)) = best else { break };
+                s.clone_queues[qi].head += 1;
+                let c = s.candidates[ci as usize];
+                avail -= c.demand; // fits_in checked above
+                used += c.demand;
+                s.cloned[ci as usize] = true;
                 out.push(Assignment {
-                    task,
+                    task: c.task,
                     server,
                     kind: CopyKind::Clone,
                 });
@@ -458,8 +720,11 @@ impl DollyMP {
                     break;
                 }
             }
+            if used != Resources::ZERO {
+                free.commit(server, used);
+            }
         }
-        out
+        out.len() - placed_before
     }
 }
 
@@ -494,42 +759,56 @@ impl Scheduler for DollyMP {
     }
 
     fn schedule(&mut self, view: &ClusterView<'_>) -> Vec<Assignment> {
-        let order: Vec<ServerId> = (0..view.cluster().len() as u32).map(ServerId).collect();
-        self.schedule_with_server_order(view, &order)
+        self.schedule_inner(view, None)
     }
 }
 
 impl DollyMP {
     /// Run one full Algorithm 2 pass visiting servers in the given order
     /// — the hook the `learned` extension uses to prefer fast machines.
-    /// `schedule` calls this with the identity order.
+    /// `schedule` calls the identity-order equivalent, driven directly by
+    /// the capacity index (no materialized server list).
     pub fn schedule_with_server_order(
         &mut self,
         view: &ClusterView<'_>,
         server_order: &[ServerId],
     ) -> Vec<Assignment> {
-        let groups = self.priority_groups(view);
+        self.schedule_inner(view, Some(server_order))
+    }
+
+    /// One full Algorithm 2 decision point: primary pass, then up to two
+    /// clone passes over the leftovers. `order` is `None` for the
+    /// identity server walk.
+    fn schedule_inner(
+        &mut self,
+        view: &ClusterView<'_>,
+        order: Option<&[ServerId]>,
+    ) -> Vec<Assignment> {
+        // The scratch moves out of `self` for the duration of the pass so
+        // the `&self` helper methods can borrow it mutably alongside.
+        let mut s = std::mem::take(&mut self.scratch);
+        self.table.grouped_into(
+            view.jobs().map(|j| j.id()),
+            &mut s.tagged,
+            &mut s.levels,
+            &mut s.members,
+        );
         let mut free = FreeTracker::new(view);
-        let batch = self.place_primaries(view, &groups, server_order, &mut free);
-        let mut newly_placed: HashMap<JobId, Vec<TaskRef>> = HashMap::new();
-        for a in &batch {
-            newly_placed.entry(a.task.job).or_default().push(a.task);
-        }
-        let mut batch = batch;
+        let mut batch: Vec<Assignment> = Vec::new();
+        self.place_primaries(view, order, &mut free, &mut s, &mut batch);
         // "Repeat Step 9 twice if there are available resources" — but at
         // most one *new* clone per task per decision point (clone
         // containers are granted round by round). The candidate set is
         // invariant across the two passes, so it is collected once.
-        let candidates = self.clone_candidates(view, &groups, &newly_placed);
-        let mut cloned_this_batch = HashSet::new();
-        for _ in 0..2 {
-            let clones =
-                self.place_clones(&candidates, &mut cloned_this_batch, server_order, &mut free);
-            if clones.is_empty() {
-                break;
+        self.clone_candidates(view, &batch, &mut s);
+        if !s.candidates.is_empty() {
+            for _ in 0..2 {
+                if self.place_clones(order, &mut free, &mut s, &mut batch) == 0 {
+                    break;
+                }
             }
-            batch.extend(clones);
         }
+        self.scratch = s;
         batch
     }
 }

@@ -17,10 +17,10 @@ fn job_state(id: u64, ntasks: u32, cpu: f64, mem: f64, theta: f64) -> JobState {
 
 fn view_fixture<'a>(
     cluster: &'a ClusterSpec,
-    free: &'a [Resources],
+    cap: &'a dollymp_cluster::capacity::CapacityIndex,
     jobs: &'a BTreeMap<JobId, JobState>,
 ) -> ClusterView<'a> {
-    ClusterView::new(0, cluster, free, jobs)
+    ClusterView::new(0, cluster, cap, jobs)
 }
 
 #[test]
@@ -30,7 +30,8 @@ fn dollymp_assigns_small_job_before_large() {
     let mut jobs = BTreeMap::new();
     jobs.insert(JobId(0), job_state(0, 1, 2.0, 2.0, 100.0)); // huge
     jobs.insert(JobId(1), job_state(1, 1, 2.0, 2.0, 2.0)); // tiny
-    let view = view_fixture(&cluster, &free, &jobs);
+    let cap = dollymp_cluster::capacity::CapacityIndex::from_free(&free);
+    let view = view_fixture(&cluster, &cap, &jobs);
 
     let mut s = DollyMP::with_clones(0);
     s.on_job_arrival(&view, JobId(1));
@@ -47,7 +48,8 @@ fn dollymp_batch_never_overcommits_a_server() {
     let free = vec![Resources::new(4.0, 4.0), Resources::new(1.0, 1.0)];
     let mut jobs = BTreeMap::new();
     jobs.insert(JobId(0), job_state(0, 6, 2.0, 2.0, 5.0));
-    let view = view_fixture(&cluster, &free, &jobs);
+    let cap = dollymp_cluster::capacity::CapacityIndex::from_free(&free);
+    let view = view_fixture(&cluster, &cap, &jobs);
     let mut s = DollyMP::new();
     s.on_job_arrival(&view, JobId(0));
     let batch = s.schedule(&view);
@@ -68,7 +70,8 @@ fn dollymp_clones_small_job_with_leftovers() {
     let free = vec![Resources::new(4.0, 4.0)];
     let mut jobs = BTreeMap::new();
     jobs.insert(JobId(0), job_state(0, 1, 1.0, 1.0, 3.0));
-    let view = view_fixture(&cluster, &free, &jobs);
+    let cap = dollymp_cluster::capacity::CapacityIndex::from_free(&free);
+    let view = view_fixture(&cluster, &cap, &jobs);
     let mut s = DollyMP::new(); // 2 clones allowed
     s.on_job_arrival(&view, JobId(0));
     let batch = s.schedule(&view);
@@ -87,7 +90,8 @@ fn dollymp0_emits_no_clones_ever() {
     let free = vec![Resources::new(8.0, 8.0); 2];
     let mut jobs = BTreeMap::new();
     jobs.insert(JobId(0), job_state(0, 2, 1.0, 1.0, 5.0));
-    let view = view_fixture(&cluster, &free, &jobs);
+    let cap = dollymp_cluster::capacity::CapacityIndex::from_free(&free);
+    let view = view_fixture(&cluster, &cap, &jobs);
     let mut s = DollyMP::with_clones(0);
     s.on_job_arrival(&view, JobId(0));
     let batch = s.schedule(&view);
@@ -102,7 +106,8 @@ fn tetris_prefers_the_aligned_task() {
     let mut jobs = BTreeMap::new();
     jobs.insert(JobId(0), job_state(0, 1, 1.0, 3.9, 10.0)); // memory-heavy
     jobs.insert(JobId(1), job_state(1, 1, 8.0, 1.0, 10.0)); // CPU-heavy
-    let view = view_fixture(&cluster, &free, &jobs);
+    let cap = dollymp_cluster::capacity::CapacityIndex::from_free(&free);
+    let view = view_fixture(&cluster, &cap, &jobs);
     let mut s = Tetris::new();
     let batch = s.schedule(&view);
     assert_eq!(
@@ -119,7 +124,8 @@ fn drf_round_robins_equal_jobs() {
     let mut jobs = BTreeMap::new();
     jobs.insert(JobId(0), job_state(0, 4, 1.0, 1.0, 5.0));
     jobs.insert(JobId(1), job_state(1, 4, 1.0, 1.0, 5.0));
-    let view = view_fixture(&cluster, &free, &jobs);
+    let cap = dollymp_cluster::capacity::CapacityIndex::from_free(&free);
+    let view = view_fixture(&cluster, &cap, &jobs);
     let mut s = by_name("drf").unwrap();
     let batch = s.schedule(&view);
     assert_eq!(batch.len(), 4, "capacity for exactly 4 unit tasks");
@@ -153,7 +159,8 @@ fn capacity_is_strict_fifo_when_everything_fits_the_head() {
     };
     jobs.insert(JobId(0), early);
     jobs.insert(JobId(1), late);
-    let view = view_fixture(&cluster, &free, &jobs);
+    let cap = dollymp_cluster::capacity::CapacityIndex::from_free(&free);
+    let view = view_fixture(&cluster, &cap, &jobs);
     let mut s = by_name("capacity-nospec").unwrap();
     let batch = s.schedule(&view);
     assert_eq!(batch.len(), 2);
@@ -172,7 +179,8 @@ fn srpt_and_svf_disagree_exactly_when_they_should() {
     let mut jobs = BTreeMap::new();
     jobs.insert(JobId(0), job_state(0, 1, 10.0, 10.0, 4.0));
     jobs.insert(JobId(1), job_state(1, 1, 1.0, 1.0, 6.0));
-    let view = view_fixture(&cluster, &free, &jobs);
+    let cap = dollymp_cluster::capacity::CapacityIndex::from_free(&free);
+    let view = view_fixture(&cluster, &cap, &jobs);
 
     let mut srpt = by_name("srpt").unwrap();
     let b = srpt.schedule(&view);
@@ -189,7 +197,8 @@ fn learned_dollymp_prefers_reputable_servers() {
     let free = vec![Resources::new(2.0, 2.0); 3];
     let mut jobs = BTreeMap::new();
     jobs.insert(JobId(0), job_state(0, 1, 1.0, 1.0, 10.0));
-    let view = view_fixture(&cluster, &free, &jobs);
+    let cap = dollymp_cluster::capacity::CapacityIndex::from_free(&free);
+    let view = view_fixture(&cluster, &cap, &jobs);
 
     // Teach the learner that server 0 is terrible and server 2 is great
     // by feeding completion records through a finished job.

@@ -22,7 +22,7 @@ fn placement_honors_block_replicas() {
     // Plenty of room everywhere: every primary must land on one of its
     // task's two replica servers.
     let cluster = ClusterSpec::homogeneous(8, 16.0, 16.0);
-    let free: Vec<Resources> = cluster.servers().iter().map(|s| s.capacity).collect();
+    let free = dollymp_cluster::capacity::CapacityIndex::from_capacities(&cluster);
     let mut jobs = BTreeMap::new();
     jobs.insert(JobId(0), job_state(0, 6, 10.0));
     let view = ClusterView::new(0, &cluster, &free, &jobs);
@@ -46,7 +46,7 @@ fn placement_honors_block_replicas() {
 #[test]
 fn clones_spread_to_a_different_server_than_the_primary() {
     let cluster = ClusterSpec::homogeneous(4, 4.0, 4.0);
-    let free: Vec<Resources> = cluster.servers().iter().map(|s| s.capacity).collect();
+    let free = dollymp_cluster::capacity::CapacityIndex::from_capacities(&cluster);
     let mut jobs = BTreeMap::new();
     jobs.insert(JobId(0), job_state(0, 1, 10.0));
     let view = ClusterView::new(0, &cluster, &free, &jobs);
@@ -77,7 +77,7 @@ fn estimated_priorities_order_unknown_jobs_by_size_not_duration() {
     // job must not starve the small one even though its *true* duration
     // is shorter.
     let cluster = ClusterSpec::homogeneous(1, 2.0, 2.0);
-    let free = vec![Resources::new(2.0, 2.0)];
+    let free = dollymp_cluster::capacity::CapacityIndex::from_free(&[Resources::new(2.0, 2.0)]);
     let mut jobs = BTreeMap::new();
     jobs.insert(JobId(0), job_state(0, 40, 1.0)); // many short tasks
     jobs.insert(JobId(1), job_state(1, 1, 50.0)); // one long task
@@ -99,7 +99,7 @@ fn estimated_priorities_order_unknown_jobs_by_size_not_duration() {
 #[test]
 fn clone_budget_from_am_requests_is_enforced() {
     let cluster = ClusterSpec::homogeneous(6, 4.0, 4.0);
-    let free: Vec<Resources> = cluster.servers().iter().map(|s| s.capacity).collect();
+    let free = dollymp_cluster::capacity::CapacityIndex::from_capacities(&cluster);
     let mut jobs = BTreeMap::new();
     jobs.insert(JobId(0), job_state(0, 2, 10.0));
     let view = ClusterView::new(0, &cluster, &free, &jobs);

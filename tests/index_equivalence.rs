@@ -1,0 +1,142 @@
+//! Equivalence pin for the hierarchical free-capacity index (the
+//! scale-out tentpole): every scheduler driven through the segment-tree
+//! query path must produce a `SimReport` **byte-identical** to the
+//! legacy linear scan, with and without fault timelines, with
+//! utilization sampling on.
+//!
+//! `LinearQueriesGuard` flips the index's thread-local escape hatch so
+//! all first-fit/best-fit/max-free queries fall back to a linear walk of
+//! the same per-server data; placements, commits, and bookkeeping are
+//! unchanged. The tree is therefore a pure query accelerator — any
+//! divergence caught here is an index bug, never an acceptable
+//! approximation.
+
+use dollymp::prelude::*;
+use dollymp_cluster::capacity::LinearQueriesGuard;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn workload(seed: u64, njobs: u64) -> Vec<JobSpec> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..njobs)
+        .map(|i| {
+            JobSpec::builder(JobId(i))
+                .arrival(rng.gen_range(0..njobs * 3))
+                .phase(dollymp_core::job::PhaseSpec::new(
+                    rng.gen_range(1..=6),
+                    Resources::new(rng.gen_range(1..=3) as f64, rng.gen_range(2..=4) as f64),
+                    rng.gen_range(2.0..12.0),
+                    rng.gen_range(0.0..5.0),
+                ))
+                .build()
+                .expect("valid spec")
+        })
+        .collect()
+}
+
+/// Random well-formed crash→restore windows (every crash repaired, so
+/// runs can always drain) — same shape as the guard suite's.
+fn fault_timeline(seed: u64, nservers: u32, horizon: u64) -> FaultTimeline {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x6A2D);
+    let mut events = Vec::new();
+    for s in 0..nservers {
+        let mut t = rng.gen_range(1..horizon / 2);
+        for _ in 0..rng.gen_range(0..=2u32) {
+            let len: u64 = rng.gen_range(1..=10);
+            events.push(TimedFault {
+                at: t,
+                event: FaultEvent::Crash(ServerId(s)),
+            });
+            events.push(TimedFault {
+                at: t + len,
+                event: FaultEvent::Restore(ServerId(s)),
+            });
+            t += len + rng.gen_range(1..=15u64);
+        }
+    }
+    FaultTimeline::new(events)
+}
+
+/// Zero the wall-clock fields so deterministic runs compare equal.
+fn scrub(mut r: SimReport) -> SimReport {
+    r.scheduling_ns = 0;
+    r.sched_overhead = Default::default();
+    r
+}
+
+fn run(name: &str, seed: u64, with_faults: bool, linear: bool) -> SimReport {
+    let cluster = ClusterSpec::homogeneous(6, 6.0, 12.0);
+    let jobs = workload(seed, 10);
+    let faults = if with_faults {
+        fault_timeline(seed, 6, 60)
+    } else {
+        FaultTimeline::empty()
+    };
+    let sampler = DurationSampler::new(seed, StragglerModel::ParetoFit);
+    let cfg = EngineConfig {
+        record_utilization: true,
+        ..EngineConfig::default()
+    };
+    let mut s = dollymp::schedulers::by_name(name).expect("known policy");
+    let report = if linear {
+        let _guard = LinearQueriesGuard::new();
+        simulate_with_faults(&cluster, jobs, &sampler, s.as_mut(), &cfg, &faults)
+    } else {
+        simulate_with_faults(&cluster, jobs, &sampler, s.as_mut(), &cfg, &faults)
+    };
+    scrub(report)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The tentpole's correctness bar, per scheduler family: DollyMP
+    /// with and without cloning, plain FIFO first-fit, and the Tetris
+    /// packer — indexed vs. linear, faulty and fault-free.
+    #[test]
+    fn index_and_linear_paths_agree(seed in 0u64..10_000) {
+        for name in ["dollymp2", "dollymp0", "fifo", "tetris"] {
+            for with_faults in [false, true] {
+                let indexed = run(name, seed, with_faults, false);
+                let linear = run(name, seed, with_faults, true);
+                prop_assert_eq!(
+                    &indexed, &linear,
+                    "{} (faults={}) diverged between the segment-tree and \
+                     linear query paths", name, with_faults
+                );
+                // Byte-identical, not just structurally equal.
+                prop_assert_eq!(
+                    serde_json::to_string(&indexed).expect("serializes"),
+                    serde_json::to_string(&linear).expect("serializes"),
+                    "{} (faults={}): serialized reports differ", name, with_faults
+                );
+            }
+        }
+    }
+}
+
+/// The same pin on the paper-shaped heterogeneous cluster with a larger
+/// DollyMP² run — deeper tree, mixed server sizes, utilization sampling.
+#[test]
+fn paper_cluster_dollymp_agrees_on_both_paths() {
+    let cluster = ClusterSpec::paper_30_node();
+    let jobs = workload(4242, 40);
+    let sampler = DurationSampler::new(4242, StragglerModel::google_traces());
+    let cfg = EngineConfig {
+        record_utilization: true,
+        ..EngineConfig::default()
+    };
+    let mut a = dollymp::schedulers::DollyMP::new();
+    let indexed = scrub(simulate(&cluster, jobs.clone(), &sampler, &mut a, &cfg));
+    let mut b = dollymp::schedulers::DollyMP::new();
+    let linear = {
+        let _guard = LinearQueriesGuard::new();
+        scrub(simulate(&cluster, jobs, &sampler, &mut b, &cfg))
+    };
+    assert_eq!(indexed, linear);
+    assert!(
+        !indexed.utilization.is_empty(),
+        "utilization sampling was on"
+    );
+}

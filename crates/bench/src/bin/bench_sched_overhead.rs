@@ -121,7 +121,7 @@ fn simulated_overhead() -> SchedOverhead {
     r.sched_overhead
 }
 
-use dollymp_bench::runner::json_obj as obj;
+use dollymp_bench::runner::{best_of_smoke, json_obj as obj};
 
 fn entry(name: &str, before_ns: u64, after_ns: u64) -> serde_json::Value {
     let speedup = before_ns as f64 / after_ns.max(1) as f64;
@@ -136,7 +136,41 @@ fn entry(name: &str, before_ns: u64, after_ns: u64) -> serde_json::Value {
     ])
 }
 
+/// Pull `after_ns` of `schedule_pass_30k_servers_1k_jobs` out of a
+/// committed `BENCH_sched_overhead.json`, if present and well-formed.
+fn committed_pass_ns(text: &str) -> Option<u64> {
+    let root: serde_json::Value = serde_json::from_str(text).ok()?;
+    root.get("benchmarks")?.as_array()?.iter().find_map(|b| {
+        if b.get("name")?.as_str()? == "schedule_pass_30k_servers_1k_jobs" {
+            b.get("after_ns")?.as_u64()
+        } else {
+            None
+        }
+    })
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        // CI guard: the measured pass mean must stay within 2× the
+        // committed artifact, best-of-3 (same gate as `bench_scale`).
+        let Some(reference) = std::fs::read_to_string("BENCH_sched_overhead.json")
+            .ok()
+            .as_deref()
+            .and_then(committed_pass_ns)
+        else {
+            eprintln!("FAIL: no committed BENCH_sched_overhead.json with a schedule-pass entry");
+            std::process::exit(1);
+        };
+        let gate = best_of_smoke("schedule pass mean", reference, 2, 3, |_| {
+            measure_schedule_pass()
+        });
+        if gate.is_err() {
+            eprintln!("FAIL: schedule pass mean regressed more than 2x");
+            std::process::exit(1);
+        }
+        return;
+    }
+
     println!("measuring transient_1000_jobs ...");
     let transient = measure_transient_1000();
     println!("  {transient} ns (baseline {BASELINE_TRANSIENT_1000_NS} ns)");

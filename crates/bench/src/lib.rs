@@ -52,16 +52,12 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) -> PathBuf {
 /// over the seed followed by the config serialized as JSON. Stamped into
 /// `BENCH_*.json` artifacts so two result files can be compared at a
 /// glance — equal fingerprints mean the runs used identical parameters.
+///
+/// Delegates to [`dollymp_obs::config_fingerprint`] — journal headers
+/// carry the *same* fingerprint, which is how a flight-recorder journal
+/// is matched to the bench artifact of the run that produced it.
 pub fn config_fingerprint<T: serde::Serialize>(seed: u64, cfg: &T) -> String {
-    let json = serde_json::to_string(cfg).expect("config serializes");
-    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut h = FNV_OFFSET;
-    for &b in seed.to_le_bytes().iter().chain(json.as_bytes()) {
-        h ^= b as u64;
-        h = h.wrapping_mul(FNV_PRIME);
-    }
-    format!("{h:016x}")
+    dollymp_obs::config_fingerprint(seed, cfg)
 }
 
 /// Run a named scheduler on a workload and return its report.

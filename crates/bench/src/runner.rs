@@ -71,6 +71,41 @@ where
     }
 }
 
+/// Best-of-N smoke gate against a committed reference timing, shared by
+/// the `--smoke` modes of the bench binaries (`bench_scale`,
+/// `bench_sched_overhead`, `bench_obs`).
+///
+/// `measure(attempt)` (1-based) returns one timing sample in
+/// nanoseconds; the gate keeps the **best** sample seen so far and
+/// passes as soon as it is within `limit_factor ×` the reference.
+/// Gating on the best of up to `attempts` runs filters host-load
+/// bursts — a descheduling blip inflates one attempt, a genuine
+/// regression inflates every attempt. Returns `Ok(best)` on pass and
+/// `Err(best)` after `attempts` failures; progress lines go to stdout
+/// so CI logs show every attempt.
+pub fn best_of_smoke<F: FnMut(u32) -> u64>(
+    label: &str,
+    reference_ns: u64,
+    limit_factor: u64,
+    attempts: u32,
+    mut measure: F,
+) -> Result<u64, u64> {
+    let limit = limit_factor * reference_ns;
+    let mut best = u64::MAX;
+    for attempt in 1..=attempts {
+        best = best.min(measure(attempt));
+        println!(
+            "smoke attempt {attempt}: {label} best {best} ns vs committed reference \
+             {reference_ns} ns (limit {limit} ns)"
+        );
+        if best <= limit {
+            println!("smoke OK");
+            return Ok(best);
+        }
+    }
+    Err(best)
+}
+
 /// Build a `serde_json` object from `(key, value)` pairs — the shared
 /// helper for `BENCH_*.json` artifacts (the vendored `serde_json` keeps
 /// object insertion order, so artifacts stay diff-stable).
@@ -159,6 +194,34 @@ mod tests {
         if std::env::var_os("DOLLYMP_SEQUENTIAL").is_none() {
             assert_eq!(Parallelism::from_env(), Parallelism::Rayon);
         }
+    }
+
+    #[test]
+    fn best_of_smoke_passes_on_any_good_attempt() {
+        // Attempt 1 is a load burst, attempt 2 is fine: the gate passes
+        // with the best sample and stops measuring.
+        let mut calls = 0;
+        let r = best_of_smoke("t", 100, 2, 3, |attempt| {
+            calls += 1;
+            if attempt == 1 {
+                900
+            } else {
+                150
+            }
+        });
+        assert_eq!(r, Ok(150));
+        assert_eq!(calls, 2);
+    }
+
+    #[test]
+    fn best_of_smoke_fails_with_best_sample_after_all_attempts() {
+        let mut calls = 0;
+        let r = best_of_smoke("t", 100, 2, 3, |_| {
+            calls += 1;
+            500 - calls * 10
+        });
+        assert_eq!(r, Err(470));
+        assert_eq!(calls, 3);
     }
 
     #[test]

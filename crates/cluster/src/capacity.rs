@@ -29,8 +29,8 @@
 //!
 //! ## Query semantics (identical to a linear scan)
 //!
-//! * [`CapacityOverlay::first_fit`] / [`next_fit_at_or_after`]
-//!   (`CapacityOverlay::next_fit_at_or_after`) descend leftmost-first,
+//! * [`CapacityOverlay::first_fit`] /
+//!   [`CapacityOverlay::next_fit_at_or_after`] descend leftmost-first,
 //!   pruning subtrees whose component-wise max cannot hold the demand.
 //!   A node max is an *upper bound* (it mixes dimensions from different
 //!   servers), so a passing subtree may still contain no fitting leaf —

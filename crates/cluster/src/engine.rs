@@ -29,6 +29,7 @@ use crate::metrics::{CopyOutcome, CopySpan, FaultStats, JobMetrics, SchedOverhea
 use crate::scheduler::{Assignment, Scheduler};
 use crate::spec::{ClusterSpec, ServerId};
 use crate::state::{CopyKind, CopyState, JobState, TaskStatus};
+use crate::trace::{Event as TraceEvent, NullRecorder, Recorder};
 use crate::view::ClusterView;
 use dollymp_core::job::{JobId, JobSpec, PhaseId, TaskId, TaskRef};
 use dollymp_core::resources::Resources;
@@ -203,6 +204,61 @@ pub fn try_simulate_with_faults(
     cfg: &EngineConfig,
     faults: &FaultTimeline,
 ) -> Result<SimReport, SimError> {
+    try_simulate_with_faults_recorded(
+        cluster,
+        jobs,
+        sampler,
+        scheduler,
+        cfg,
+        faults,
+        &mut NullRecorder,
+    )
+}
+
+/// [`simulate_with_faults`] with a flight recorder attached: every
+/// observable state transition is emitted as a [`TraceEvent`] (see
+/// [`crate::trace`]). With a [`NullRecorder`] this is byte-identical to
+/// the unrecorded entry points — the recorder's `enabled()` flag is read
+/// once and every emission site is skipped.
+///
+/// # Panics
+/// Exactly where [`simulate_with_faults`] panics.
+pub fn simulate_recorded(
+    cluster: &ClusterSpec,
+    jobs: Vec<JobSpec>,
+    sampler: &DurationSampler,
+    scheduler: &mut dyn Scheduler,
+    cfg: &EngineConfig,
+    faults: &FaultTimeline,
+    recorder: &mut dyn Recorder,
+) -> SimReport {
+    match try_simulate_with_faults_recorded(
+        cluster, jobs, sampler, scheduler, cfg, faults, recorder,
+    ) {
+        Ok(report) => report,
+        // Fail-loud contract: identical to `simulate_with_faults`.
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Non-panicking [`simulate_recorded`]: the recorded counterpart of
+/// [`try_simulate_with_faults`]. Events are emitted in deterministic
+/// engine order; on an `Err` return the journal simply stops at the
+/// abort point (replay is only defined for completed runs).
+#[allow(clippy::too_many_arguments)]
+pub fn try_simulate_with_faults_recorded(
+    cluster: &ClusterSpec,
+    jobs: Vec<JobSpec>,
+    sampler: &DurationSampler,
+    scheduler: &mut dyn Scheduler,
+    cfg: &EngineConfig,
+    faults: &FaultTimeline,
+    recorder: &mut dyn Recorder,
+) -> Result<SimReport, SimError> {
+    // Read once: the journal is either fully on or fully off for a run,
+    // and a disabled recorder must cost nothing on the hot path (no
+    // event construction, one dead branch per emission site).
+    let recording = recorder.enabled();
     for j in &jobs {
         for (pi, p) in j.phases().iter().enumerate() {
             if !cluster
@@ -248,6 +304,8 @@ pub fn try_simulate_with_faults(
     let mut speed_factor: Vec<f64> = vec![1.0; cluster.len()];
     let mut fault_idx = 0usize;
     let mut fstats = FaultStats::default();
+    // Guard counters as of the previous pass, for per-pass journal deltas.
+    let mut prev_guard = crate::metrics::GuardStats::default();
     // Scratch buffers reused across decision points so the steady-state
     // loop allocates nothing.
     let mut finished_jobs: Vec<JobId> = Vec::new();
@@ -294,6 +352,9 @@ pub fn try_simulate_with_faults(
                 progress: progress_snapshot(&active, last_progress),
             });
         }
+        if recording {
+            recorder.record(TraceEvent::SlotTick { at: now });
+        }
 
         // 1) Retire copies finishing now (and any stale events en route).
         finished_jobs.clear();
@@ -315,13 +376,22 @@ pub fn try_simulate_with_faults(
                 &mut finished_jobs,
                 &mut children_scratch,
                 cfg.record_timeline.then_some(&mut timeline),
+                recording,
+                recorder,
             );
             last_progress = now;
         }
         for id in finished_jobs.drain(..) {
             #[allow(clippy::expect_used)] // retire_copy listed it from `active`
             let job = active.remove(&id).expect("finished job present");
-            done.push(job_metrics(&job, now));
+            let metrics = job_metrics(&job, now);
+            if recording {
+                recorder.record(TraceEvent::JobCompletion {
+                    at: now,
+                    metrics: metrics.clone(),
+                });
+            }
+            done.push(metrics);
             scheduler.on_job_finish(&job);
         }
 
@@ -346,6 +416,8 @@ pub fn try_simulate_with_faults(
                 &mut fstats,
                 cfg.record_timeline.then_some(&mut timeline),
                 &mut hooks,
+                recording,
+                recorder,
             )?;
         }
         if !hooks.is_empty() {
@@ -381,6 +453,9 @@ pub fn try_simulate_with_faults(
                 .map(|(pi, p)| sampler.phase_table(id, PhaseId(pi as u32), p))
                 .collect();
             active.insert(id, JobState::new(spec, tables));
+            if recording {
+                recorder.record(TraceEvent::JobArrival { at: now, job: id });
+            }
             let view = ClusterView {
                 now,
                 spec: cluster,
@@ -406,6 +481,25 @@ pub fn try_simulate_with_faults(
             scheduling_ns += schedule_ns;
             overhead_samples.push(arrival_ns + schedule_ns);
             decision_points += 1;
+            if recording {
+                // The span precedes the batch's CopyLaunch events, so a
+                // journal reader sees "decided, then placed".
+                recorder.record(TraceEvent::SchedSpan {
+                    at: now,
+                    decision_point: decision_points,
+                    arrival_ns,
+                    schedule_ns,
+                    batch: batch.len() as u64,
+                    detail: scheduler.pass_span(),
+                });
+                if let Some(gs) = scheduler.guard_stats() {
+                    let delta = gs.diff(&prev_guard);
+                    if delta != crate::metrics::GuardStats::default() {
+                        recorder.record(TraceEvent::GuardDelta { at: now, delta });
+                    }
+                    prev_guard = gs;
+                }
+            }
 
             // Pending fault events are future decision points too: a
             // fully-crashed cluster legitimately idles until a Restore.
@@ -431,6 +525,8 @@ pub fn try_simulate_with_faults(
                     &mut events,
                     &mut seq,
                     a,
+                    recording,
+                    recorder,
                 );
                 last_progress = now;
             }
@@ -446,19 +542,20 @@ pub fn try_simulate_with_faults(
                 "incremental total-free counter drifted from the re-summed value"
             );
             let used = totals - total_free;
-            utilization.push((
-                now,
-                if totals.cpu() > 0.0 {
-                    used.cpu() / totals.cpu()
-                } else {
-                    0.0
-                },
-                if totals.mem() > 0.0 {
-                    used.mem() / totals.mem()
-                } else {
-                    0.0
-                },
-            ));
+            let cpu = if totals.cpu() > 0.0 {
+                used.cpu() / totals.cpu()
+            } else {
+                0.0
+            };
+            let mem = if totals.mem() > 0.0 {
+                used.mem() / totals.mem()
+            } else {
+                0.0
+            };
+            utilization.push((now, cpu, mem));
+            if recording {
+                recorder.record(TraceEvent::UtilSample { at: now, cpu, mem });
+            }
         }
     }
 
@@ -525,6 +622,8 @@ fn apply_fault(
     stats: &mut FaultStats,
     mut timeline: Option<&mut Vec<CopySpan>>,
     hooks: &mut Vec<FaultHook>,
+    recording: bool,
+    recorder: &mut dyn Recorder,
 ) -> Result<(), SimError> {
     let server = event.server();
     let sid = server.0 as usize;
@@ -543,6 +642,9 @@ fn apply_fault(
                 return Ok(());
             }
             stats.server_crashes += 1;
+            if recording {
+                recorder.record(TraceEvent::ServerCrash { at: now, server });
+            }
             free.set_free(server, Resources::ZERO);
             hooks.push(FaultHook::Down(server));
             for (&jid, job) in active.iter_mut() {
@@ -574,6 +676,17 @@ fn apply_fault(
                             job.usage_norm += wasted;
                             stats.copies_evicted += 1;
                             stats.work_lost_norm += wasted;
+                            if recording {
+                                recorder.record(TraceEvent::CopyEvict {
+                                    at: now,
+                                    task: tref,
+                                    copy_idx: c.copy_idx,
+                                    server: c.server,
+                                    kind: c.kind,
+                                    start: c.start,
+                                    work_lost_norm: wasted,
+                                });
+                            }
                             if let Some(tl) = timeline.as_deref_mut() {
                                 tl.push(CopySpan {
                                     task: tref,
@@ -594,11 +707,23 @@ fn apply_fault(
                             // cloning as fault tolerance (§5.2's mechanism
                             // repurposed).
                             stats.tasks_saved_by_clone += 1;
+                            if recording {
+                                recorder.record(TraceEvent::TaskSaved {
+                                    at: now,
+                                    task: tref,
+                                });
+                            }
                         } else {
                             // Work-conserving re-queue: all progress lost,
                             // the task re-enters the ready pool.
                             task.status = TaskStatus::Ready;
                             stats.tasks_requeued += 1;
+                            if recording {
+                                recorder.record(TraceEvent::TaskLost {
+                                    at: now,
+                                    task: tref,
+                                });
+                            }
                             hooks.push(FaultHook::Lost(tref));
                         }
                     }
@@ -616,12 +741,22 @@ fn apply_fault(
             if down[sid] == 0 {
                 free.set_free(server, cluster.server(server).capacity);
                 stats.server_recoveries += 1;
+                if recording {
+                    recorder.record(TraceEvent::ServerRestore { at: now, server });
+                }
                 hooks.push(FaultHook::Up(server));
             }
         }
         FaultEvent::Degrade(_, factor) => {
             speed_factor[sid] *= factor;
             stats.server_degradations += 1;
+            if recording {
+                recorder.record(TraceEvent::ServerDegrade {
+                    at: now,
+                    server,
+                    factor,
+                });
+            }
             // Stretch in-flight copies: the remaining slots inflate by the
             // factor; the superseded heap event goes stale via the finish
             // check in `copy_is_live`.
@@ -669,6 +804,8 @@ fn retire_copy(
     finished_jobs: &mut Vec<JobId>,
     children_scratch: &mut Vec<PhaseId>,
     mut timeline: Option<&mut Vec<CopySpan>>,
+    recording: bool,
+    recorder: &mut dyn Recorder,
 ) {
     #[allow(clippy::expect_used)] // copy_is_live gated the event on this
     let job = active
@@ -689,6 +826,21 @@ fn retire_copy(
         job.usage_norm += demand_norm * now.saturating_sub(c.start) as f64;
         if c.copy_idx == ev.copy_idx {
             winner_start = c.start;
+        }
+        if recording {
+            recorder.record(TraceEvent::CopyRetire {
+                at: now,
+                task: ev.task,
+                copy_idx: c.copy_idx,
+                server: c.server,
+                kind: c.kind,
+                start: c.start,
+                outcome: if c.copy_idx == ev.copy_idx {
+                    CopyOutcome::Won
+                } else {
+                    CopyOutcome::Killed
+                },
+            });
         }
         if let Some(tl) = timeline.as_deref_mut() {
             tl.push(CopySpan {
@@ -862,6 +1014,8 @@ fn apply_assignment(
     events: &mut BinaryHeap<Reverse<Event>>,
     seq: &mut u64,
     a: Assignment,
+    recording: bool,
+    recorder: &mut dyn Recorder,
 ) {
     #[allow(clippy::expect_used)] // check_assignment verified the job exists
     let job = active
@@ -918,6 +1072,16 @@ fn apply_assignment(
         task: a.task,
         copy_idx,
     }));
+    if recording {
+        recorder.record(TraceEvent::CopyLaunch {
+            at: now,
+            task: a.task,
+            copy_idx,
+            server: a.server,
+            kind: a.kind,
+            finish,
+        });
+    }
 }
 
 fn job_metrics(job: &JobState, now: Time) -> JobMetrics {

@@ -2,7 +2,7 @@
 //! policies.
 //!
 //! The engine's validation is deliberately strict — a bad assignment
-//! aborts the run ([`crate::engine::check_assignment`] semantics). That
+//! aborts the run (the engine's internal `check_assignment`). That
 //! is the right contract for *our* policies under test, but a production
 //! control plane must keep serving when a third-party policy misbehaves
 //! (ROADMAP north-star; the paper's §6.3.3 <20 ms/pass overhead budget is
@@ -481,6 +481,10 @@ impl<S: Scheduler> Scheduler for GuardedScheduler<S> {
 
     fn guard_stats(&self) -> Option<GuardStats> {
         Some(self.stats)
+    }
+
+    fn pass_span(&self) -> Option<crate::trace::PassSpan> {
+        self.inner.pass_span()
     }
 }
 

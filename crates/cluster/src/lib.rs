@@ -29,6 +29,10 @@
 //!   backpressure);
 //! * [`fault`] — timed fault events (crash / restore / fail-slow) and
 //!   the sorted timeline the engine consumes;
+//! * [`trace`] — the flight-recorder event schema ([`trace::Event`]) and
+//!   the [`trace::Recorder`] sink trait the engine emits through
+//!   ([`engine::simulate_recorded`]); consumers (journal, metrics
+//!   registry, replay verifier) live in the `dollymp-obs` crate;
 //! * [`metrics`] — per-job metrics, reports, CDF helpers.
 //!
 //! ## Quick start
@@ -63,13 +67,15 @@ pub mod metrics;
 pub mod scheduler;
 pub mod spec;
 pub mod state;
+pub mod trace;
 pub mod view;
 
 /// Commonly used simulator types.
 pub mod prelude {
     pub use crate::capacity::{CapacityIndex, CapacityOverlay, LinearQueriesGuard};
     pub use crate::engine::{
-        simulate, simulate_with_faults, try_simulate, try_simulate_with_faults, EngineConfig,
+        simulate, simulate_recorded, simulate_with_faults, try_simulate, try_simulate_with_faults,
+        try_simulate_with_faults_recorded, EngineConfig,
     };
     pub use crate::error::{AdmissionError, ProgressSnapshot, RejectReason, SimError};
     pub use crate::execution::{DurationSampler, StragglerModel};
@@ -82,5 +88,6 @@ pub mod prelude {
     pub use crate::scheduler::{clone_allowed, Assignment, FifoFirstFit, Scheduler};
     pub use crate::spec::{ClusterSpec, ServerId, ServerSpec};
     pub use crate::state::{CopyKind, CopyState, JobState, PhaseState, TaskState, TaskStatus};
+    pub use crate::trace::{Event as TraceEvent, NullRecorder, PassSpan, Recorder};
     pub use crate::view::ClusterView;
 }

@@ -263,6 +263,51 @@ impl GuardStats {
     pub fn is_clean(&self) -> bool {
         *self == GuardStats::default()
     }
+
+    /// Counter-wise difference `self − prev` (saturating), with
+    /// `quarantined_at` carried only when it changed. The flight
+    /// recorder emits this per decision point; summing the deltas with
+    /// [`GuardStats::accumulate`] reconstructs the final stats.
+    pub fn diff(&self, prev: &GuardStats) -> GuardStats {
+        GuardStats {
+            rejected_overcommit: self.rejected_overcommit - prev.rejected_overcommit,
+            rejected_unknown_job: self.rejected_unknown_job - prev.rejected_unknown_job,
+            rejected_server_down: self.rejected_server_down - prev.rejected_server_down,
+            rejected_duplicate_copy: self.rejected_duplicate_copy - prev.rejected_duplicate_copy,
+            policy_panics: self.policy_panics - prev.policy_panics,
+            budget_overruns: self.budget_overruns - prev.budget_overruns,
+            stall_rescues: self.stall_rescues - prev.stall_rescues,
+            fallback_passes: self.fallback_passes - prev.fallback_passes,
+            clones_throttled: self.clones_throttled - prev.clones_throttled,
+            deferred: self.deferred - prev.deferred,
+            deferrals_dropped: self.deferrals_dropped - prev.deferrals_dropped,
+            quarantined_at: if self.quarantined_at == prev.quarantined_at {
+                None
+            } else {
+                self.quarantined_at
+            },
+        }
+    }
+
+    /// Add a [`GuardStats::diff`] delta onto an accumulator.
+    /// `quarantined_at` adopts the delta's value when present (it is set
+    /// at most once per run).
+    pub fn accumulate(&mut self, delta: &GuardStats) {
+        self.rejected_overcommit += delta.rejected_overcommit;
+        self.rejected_unknown_job += delta.rejected_unknown_job;
+        self.rejected_server_down += delta.rejected_server_down;
+        self.rejected_duplicate_copy += delta.rejected_duplicate_copy;
+        self.policy_panics += delta.policy_panics;
+        self.budget_overruns += delta.budget_overruns;
+        self.stall_rescues += delta.stall_rescues;
+        self.fallback_passes += delta.fallback_passes;
+        self.clones_throttled += delta.clones_throttled;
+        self.deferred += delta.deferred;
+        self.deferrals_dropped += delta.deferrals_dropped;
+        if delta.quarantined_at.is_some() {
+            self.quarantined_at = delta.quarantined_at;
+        }
+    }
 }
 
 /// Everything a simulation run produces.
@@ -561,6 +606,30 @@ mod tests {
         assert_eq!(g.stall_rescues, 1);
         assert_eq!(g.budget_overruns, 1);
         assert!(!g.is_clean());
+    }
+
+    #[test]
+    fn guard_stats_diff_and_accumulate_round_trip() {
+        let mut a = GuardStats::default();
+        a.record_rejection(RejectReason::OverCommit);
+        a.record_rejection(RejectReason::Stalled);
+        a.fallback_passes = 2;
+        let mut b = a;
+        b.record_rejection(RejectReason::OverCommit);
+        b.clones_throttled = 5;
+        b.quarantined_at = Some(17);
+        let delta = b.diff(&a);
+        assert_eq!(delta.rejected_overcommit, 1);
+        assert_eq!(delta.clones_throttled, 5);
+        assert_eq!(delta.stall_rescues, 0);
+        assert_eq!(delta.quarantined_at, Some(17), "newly set ⇒ carried");
+        // Unchanged quarantine is not re-carried.
+        assert_eq!(b.diff(&b).quarantined_at, None);
+        // Accumulating the per-pass deltas reconstructs the final state.
+        let mut acc = GuardStats::default();
+        acc.accumulate(&a.diff(&GuardStats::default()));
+        acc.accumulate(&delta);
+        assert_eq!(acc, b);
     }
 
     #[test]

@@ -73,6 +73,15 @@ pub trait Scheduler {
     fn guard_stats(&self) -> Option<crate::metrics::GuardStats> {
         None
     }
+
+    /// Stage breakdown (prepare vs placement, in nanoseconds) of the most
+    /// recent [`Scheduler::schedule`] call, for the flight recorder's
+    /// [`crate::trace::Event::SchedSpan`]. `None` (the default) means the
+    /// policy does not instrument its pass; the engine then records the
+    /// span without a stage breakdown.
+    fn pass_span(&self) -> Option<crate::trace::PassSpan> {
+        None
+    }
 }
 
 impl Scheduler for Box<dyn Scheduler> {
@@ -106,6 +115,10 @@ impl Scheduler for Box<dyn Scheduler> {
 
     fn guard_stats(&self) -> Option<crate::metrics::GuardStats> {
         self.as_ref().guard_stats()
+    }
+
+    fn pass_span(&self) -> Option<crate::trace::PassSpan> {
+        self.as_ref().pass_span()
     }
 }
 

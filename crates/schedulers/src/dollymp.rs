@@ -174,6 +174,9 @@ pub struct DollyMP {
     loss_epochs: FxHashMap<JobId, u64>,
     /// Reusable per-decision-point buffers (see [`Scratch`]).
     scratch: Scratch,
+    /// Prepare/placement stage timing of the most recent pass, surfaced
+    /// via [`Scheduler::pass_span`] for the flight recorder.
+    last_span: PassSpan,
 }
 
 impl DollyMP {
@@ -201,6 +204,7 @@ impl DollyMP {
             use_summary_cache: true,
             loss_epochs: FxHashMap::default(),
             scratch: Scratch::default(),
+            last_span: PassSpan::default(),
         }
     }
 
@@ -761,6 +765,10 @@ impl Scheduler for DollyMP {
     fn schedule(&mut self, view: &ClusterView<'_>) -> Vec<Assignment> {
         self.schedule_inner(view, None)
     }
+
+    fn pass_span(&self) -> Option<PassSpan> {
+        Some(self.last_span)
+    }
 }
 
 impl DollyMP {
@@ -787,12 +795,14 @@ impl DollyMP {
         // The scratch moves out of `self` for the duration of the pass so
         // the `&self` helper methods can borrow it mutably alongside.
         let mut s = std::mem::take(&mut self.scratch);
+        let pass_start = std::time::Instant::now();
         self.table.grouped_into(
             view.jobs().map(|j| j.id()),
             &mut s.tagged,
             &mut s.levels,
             &mut s.members,
         );
+        let prepare_ns = pass_start.elapsed().as_nanos() as u64;
         let mut free = FreeTracker::new(view);
         let mut batch: Vec<Assignment> = Vec::new();
         self.place_primaries(view, order, &mut free, &mut s, &mut batch);
@@ -809,6 +819,10 @@ impl DollyMP {
             }
         }
         self.scratch = s;
+        self.last_span = PassSpan {
+            prepare_ns,
+            placement_ns: (pass_start.elapsed().as_nanos() as u64).saturating_sub(prepare_ns),
+        };
         batch
     }
 }
